@@ -1,0 +1,27 @@
+"""Benchmark harness helpers.
+
+Each bench regenerates one paper artefact (figure or claim table), times it
+with pytest-benchmark, and prints the rows/series the paper reports so the
+run log doubles as the reproduction record (EXPERIMENTS.md is built from
+these outputs).
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def run_and_report(benchmark, experiment_id: str, *, fast: bool = True, plots: bool = True):
+    """Time one experiment (single round — these are simulations, not
+    microbenchmarks) and print its full report."""
+    experiment = get_experiment(experiment_id)
+    result = benchmark.pedantic(
+        lambda: experiment.run(fast=fast), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render(plots=plots))
+    return result

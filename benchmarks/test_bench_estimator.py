@@ -1,0 +1,11 @@
+"""Bench: §4 h' estimator accuracy while prefetching runs."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_hprime_estimator(benchmark):
+    result = run_and_report(benchmark, "hprime-estimator", plots=False)
+    _, _, iso_rows = result.tables[0]
+    # With oracle probabilities the §4 estimate recovers h' closely
+    # (column 5 = |err| of the model-A estimate).
+    assert all(row[5] < 0.08 for row in iso_rows)

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 1 (p_th vs item size, nine bandwidths)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure1(benchmark):
+    result = run_and_report(benchmark, "fig1")
+    assert len(result.sweeps) == 2
+    # anchor: the Figure 2/3 operating point sits on this figure
+    assert abs(result.sweeps[0].get("b = 50").y_at(1.0) - 0.6) < 1e-12

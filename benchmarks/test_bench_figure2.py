@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 2 (access improvement G vs n(F))."""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure2(benchmark):
+    result = run_and_report(benchmark, "fig2")
+    # The headline shape: the p = p_th curve is identically zero, curves
+    # above/below are sign-constant (checked in detail by the test suite).
+    panel0 = result.sweeps[0]
+    flat = panel0.get("p = 0.6").finite().y
+    assert np.allclose(flat, 0.0, atol=1e-12)

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 3 (excess retrieval cost C vs n(F))."""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure3(benchmark):
+    result = run_and_report(benchmark, "fig3")
+    for sweep in result.sweeps:
+        for series in sweep:
+            assert np.all(series.finite().y >= -1e-15)

@@ -1,0 +1,9 @@
+"""Bench: §5 load impedance — same prefetch, rising load, rising cost."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_load_impedance(benchmark):
+    result = run_and_report(benchmark, "load-impedance")
+    assert any("C strictly increases with baseline load: True" in n
+               for n in result.notes)

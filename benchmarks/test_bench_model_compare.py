@@ -1,0 +1,8 @@
+"""Bench: §6 model A vs B vs AB comparison."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_model_compare(benchmark):
+    result = run_and_report(benchmark, "model-compare", plots=False)
+    assert any("bracketing holds for all alpha: True" in n for n in result.notes)

@@ -1,0 +1,11 @@
+"""Bench: full-system prefetch-policy ablation (the §1 motivation)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_policy_ablation(benchmark):
+    result = run_and_report(benchmark, "policy-ablation", plots=False)
+    _, _, rows = result.tables[0]
+    t = {row[0]: row[1] for row in rows}
+    # the paper's rule must beat doing nothing on this predictable workload
+    assert t["threshold-dynamic"] < t["none"]

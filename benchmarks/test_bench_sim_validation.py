@@ -1,0 +1,10 @@
+"""Bench: DES-vs-closed-form validation plus the batch-arrival caveat."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_sim_vs_analytic(benchmark):
+    result = run_and_report(benchmark, "sim-vs-analytic", plots=False)
+    _, _, rows = result.tables[0]
+    # worst relative error across all operating points and quantities
+    assert max(row[-1] for row in rows) < 0.15

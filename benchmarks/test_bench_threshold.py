@@ -1,0 +1,9 @@
+"""Bench: §3 threshold-rule and condition-redundancy audit."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_threshold_claims(benchmark):
+    result = run_and_report(benchmark, "threshold-claims", plots=False)
+    _, _, rows = result.tables[0]
+    assert all(row[3] == 0 and row[4] == 0 and row[5] == 0 for row in rows)

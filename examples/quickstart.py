@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's threshold rule in five minutes.
+
+Walks through the analytical API end to end:
+
+1. define an operating point (bandwidth, request rate, item size, hit ratio);
+2. compute the prefetch threshold ``p_th`` for interaction models A and B;
+3. evaluate the access improvement G and excess cost C of a prefetch plan;
+4. apply the rule to a concrete candidate list from a predictor;
+5. cross-check against a discrete-event simulation of the same system.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ModelA, ModelB, SystemParameters
+from repro.core.thresholds import select_items
+from repro.sim import MirrorConfig, mirror_vs_theory, run_mirror
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The operating point of the paper's Figure 2/3 (h' = 0.3 panel):
+    #    shared bandwidth 50, aggregate request rate 30/s, mean item size 1.
+    # ------------------------------------------------------------------
+    params = SystemParameters(
+        bandwidth=50.0,
+        request_rate=30.0,
+        mean_item_size=1.0,
+        hit_ratio=0.3,       # cache hit ratio *without* prefetching (h')
+        cache_size=20.0,     # mean cached items n(C) — model B only
+    )
+    print(f"no-prefetch utilisation rho' = {params.base_utilization:.3f}")
+
+    # ------------------------------------------------------------------
+    # 2. Thresholds: prefetch only items with access probability above p_th.
+    # ------------------------------------------------------------------
+    model_a = ModelA(params)
+    model_b = ModelB(params)
+    print(f"p_th (model A, eq. 13) = {model_a.threshold():.3f}")
+    print(f"p_th (model B, eq. 21) = {model_b.threshold():.3f}")
+
+    # ------------------------------------------------------------------
+    # 3. What happens if we prefetch n(F)=0.5 items per request at p=0.8?
+    # ------------------------------------------------------------------
+    n_f, p = 0.5, 0.8
+    print(f"\nprefetching n(F)={n_f} items of probability p={p}:")
+    print(f"  hit ratio rises  h' {params.hit_ratio:.2f} -> h "
+          f"{model_a.hit_ratio(n_f, p):.2f}")
+    print(f"  utilisation      rho' {params.base_utilization:.3f} -> rho "
+          f"{model_a.utilization(n_f, p):.3f}")
+    print(f"  access time gain G = {model_a.improvement(n_f, p):+.5f}  (eq. 11)")
+    print(f"  excess cost      C = {model_a.excess_cost(n_f, p):.5f}  (eq. 27)")
+    # ... and at p = 0.3, below threshold, the same traffic *hurts*:
+    print(f"  at p=0.3 instead G = {model_a.improvement(n_f, 0.3):+.5f}  (< 0!)")
+
+    # ------------------------------------------------------------------
+    # 4. Apply the rule to a predictor's candidate list.
+    # ------------------------------------------------------------------
+    candidates = [("index.html", 0.82), ("style.css", 0.55), ("logo.png", 0.48),
+                  ("news/today", 0.30), ("archive/1999", 0.05)]
+    chosen = select_items(candidates, p_th=model_a.threshold())
+    print(f"\ncandidates: {candidates}")
+    print(f"threshold rule prefetches: {[item for item, _ in chosen]}")
+
+    # ------------------------------------------------------------------
+    # 5. Validate the closed forms with the DES mirror.
+    # ------------------------------------------------------------------
+    cfg = MirrorConfig(params=params, n_f=n_f, p=p,
+                       duration=1200.0, warmup=120.0, seed=1)
+    comparison = mirror_vs_theory(cfg, run_mirror(cfg))
+    print("\nsimulation vs theory (eqs. 10, 8, 25):")
+    for name, predicted, measured, err in comparison.rows():
+        print(f"  {name:5s} theory={predicted:.5f}  sim={measured:.5f}  "
+              f"rel.err={err:.1%}")
+
+
+if __name__ == "__main__":
+    main()

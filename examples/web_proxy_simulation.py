@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Web-proxy scenario: multiple browsing users behind one shared link.
+
+The paper's motivating setting (§2.1): several users share a proxy's
+network connection; each has a local cache and a speculative prefetcher.
+This example builds the *full system* — real LRU caches, a Markov access
+model learned online, the §4 h' estimator, and the paper's dynamic
+threshold policy — then compares it against no prefetching and against the
+"prefetch everything likely" heuristic the paper warns about.
+
+Run:  python examples/web_proxy_simulation.py
+"""
+
+from repro.analysis import format_table
+from repro.sim import SimulationConfig, compare_policies
+from repro.workload import WorkloadSpec
+
+
+def main() -> None:
+    base = SimulationConfig(
+        workload=WorkloadSpec(
+            num_clients=6,             # six browsing users
+            request_rate=30.0,         # aggregate lambda
+            catalog_size=500,          # site with 500 pages
+            zipf_exponent=0.9,         # popular pages dominate
+            follow_probability=0.65,   # link-following structure to learn
+        ),
+        bandwidth=55.0,                # shared proxy uplink
+        cache_policy="lru",
+        cache_capacity=50,
+        predictor="true-distribution",  # calibrated probabilities
+        policy="none",
+        duration=400.0,
+        warmup=60.0,
+        seed=2024,
+    )
+
+    print("simulating prefetch policies on identical workloads "
+          "(common random numbers), 3 replications each...\n")
+    results = compare_policies(
+        base,
+        {
+            "no prefetch": {"policy": "none"},
+            "paper threshold (dynamic p_th)": {"policy": "threshold-dynamic"},
+            "threshold + learned markov": {
+                "policy": "threshold-dynamic",
+                "predictor": "markov",
+            },
+            "naive: prefetch top-3 always": {
+                "policy": "top-k",
+                "policy_params": {"k": 3},
+            },
+        },
+        replications=3,
+    )
+
+    rows = []
+    baseline_t = results["no prefetch"].mean("mean_access_time")
+    for name, rr in results.items():
+        t = rr.mean("mean_access_time")
+        rows.append(
+            [
+                name,
+                t,
+                baseline_t - t,  # G vs baseline
+                rr.mean("hit_ratio"),
+                rr.mean("utilization"),
+                rr.mean("prefetches_per_request"),
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "t_bar", "G vs none", "hit ratio", "rho", "n(F)"],
+            rows,
+            precision=4,
+        )
+    )
+    print(
+        "\nreading:\n"
+        "* with calibrated probabilities the threshold rule improves access\n"
+        "  time (G > 0); the probability-blind top-3 policy reaches a higher\n"
+        "  hit ratio yet a *smaller* gain, because its extra traffic raises\n"
+        "  everyone's retrieval times — the paper's network-load-feedback\n"
+        "  point in one row;\n"
+        "* the 'learned markov' arm shows the rule is only as good as its\n"
+        "  probabilities: maximum-likelihood estimates are overconfident on\n"
+        "  sparse data (p=1.0 after one observation), so the policy over-\n"
+        "  prefetches — calibrating the access model matters as much as the\n"
+        "  threshold itself."
+    )
+
+
+if __name__ == "__main__":
+    main()

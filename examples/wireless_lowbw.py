@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Low-bandwidth (wireless) scenario: when does prefetching stop paying?
+
+The paper's conclusions point at "QoS issues of multimedia access in wired
+as well as wireless networks" — i.e. bandwidth-poor links, where the
+threshold p_th = f'*lambda*s/b is *high* and speculative prefetching is
+easily counterproductive.  This example sweeps bandwidth from generous to
+starved and shows, per link speed:
+
+* the threshold p_th (how sure the predictor must be),
+* the improvement G from prefetching a realistically-predictable item
+  (p = 0.7),
+* the improvement a fixed heuristic (always prefetch at p >= 0.5) would
+  *believe* it gets vs what it actually gets.
+
+Run:  python examples/wireless_lowbw.py
+"""
+
+import numpy as np
+
+from repro import ModelA, SystemParameters
+from repro.analysis import format_table
+
+
+def main() -> None:
+    lam, s, h_prime = 30.0, 1.0, 0.3
+    n_f, p_item = 0.4, 0.7
+
+    rows = []
+    for b in (200.0, 100.0, 55.0, 40.0, 34.0, 30.0, 25.0, 22.0):
+        params = SystemParameters(
+            bandwidth=b, request_rate=lam, mean_item_size=s, hit_ratio=h_prime
+        )
+        model = ModelA(params)
+        p_th = model.threshold()
+        g = float(np.asarray(model.improvement(n_f, p_item, on_unstable="nan")))
+        c = float(np.asarray(model.excess_cost(n_f, p_item, on_unstable="nan")))
+        verdict = (
+            "prefetch" if p_item > p_th else "DO NOT prefetch"
+        ) if params.is_stable else "link saturated"
+        rows.append([b, params.base_utilization, p_th, g, c, verdict])
+
+    print("item predictability p = 0.7, prefetch volume n(F) = 0.4/request\n")
+    print(
+        format_table(
+            ["bandwidth b", "rho'", "p_th", "G (eq.11)", "C (eq.27)",
+             "threshold rule says"],
+            rows,
+            precision=4,
+        )
+    )
+    print(
+        "\nreading: as the link narrows, rho' (= p_th) climbs; the same\n"
+        "p = 0.7 item flips from profitable to harmful once p_th crosses it\n"
+        "(between b = 40 and b = 30 here).  A fixed heuristic tuned on the\n"
+        "fast link keeps prefetching on the slow one and pays G < 0 — the\n"
+        "paper's case for computing the threshold from measured load.\n"
+    )
+
+    # Show the marginal cost blow-up the paper calls load impedance.
+    from repro.core.excess_cost import load_impedance_ratio
+
+    print(
+        "load impedance: the same prefetched item costs "
+        f"{load_impedance_ratio(0.42, 0.84):.1f}x more network time at\n"
+        "rho' = 0.84 (b = 25) than at rho' = 0.42 (b = 50)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Thin setup.py shim.
+
+The offline environment lacks the ``wheel`` package, so PEP-660 editable
+installs (``pip install -e .``) cannot build an editable wheel.  This shim
+enables the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

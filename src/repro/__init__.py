@@ -1,0 +1,64 @@
+"""repro — reproduction of Tuah, Kumar & Venkatesh (IPDPS 2001).
+
+*Effect of Speculative Prefetching on Network Load in Distributed Systems.*
+
+The package has three layers:
+
+1. **Analytical core** (:mod:`repro.core`) — the paper's closed forms:
+   M/G/1-PS access times, prefetch-cache interaction models A/B/AB, the
+   threshold rule ``p_th``, and excess retrieval cost.
+2. **Substrates** — a discrete-event simulation kernel (:mod:`repro.des`),
+   network components (:mod:`repro.network`), caches (:mod:`repro.cache`),
+   access predictors (:mod:`repro.predictors`), prefetch policies
+   (:mod:`repro.prefetch`), online estimators (:mod:`repro.estimation`) and
+   workload generators (:mod:`repro.workload`).
+3. **Evaluation** — full simulations (:mod:`repro.sim`), result containers
+   (:mod:`repro.analysis`) and the paper's figures plus ablations
+   (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import SystemParameters, ModelA
+>>> params = SystemParameters(bandwidth=50, request_rate=30,
+...                           mean_item_size=1.0, hit_ratio=0.3)
+>>> model = ModelA(params)
+>>> model.threshold()          # prefetch items with p above this (eq. 13)
+0.42
+>>> model.improvement(1.0, 0.9) > 0
+True
+"""
+
+from repro.core import (
+    ModelA,
+    ModelAB,
+    ModelB,
+    PositivityConditions,
+    PrefetchCacheModel,
+    SystemParameters,
+)
+from repro.errors import (
+    ConfigurationError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+    StabilityError,
+    TraceFormatError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "ModelA",
+    "ModelAB",
+    "ModelB",
+    "ParameterError",
+    "PositivityConditions",
+    "PrefetchCacheModel",
+    "ReproError",
+    "SimulationError",
+    "StabilityError",
+    "SystemParameters",
+    "TraceFormatError",
+    "__version__",
+]

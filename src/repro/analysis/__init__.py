@@ -1,0 +1,23 @@
+"""Result containers, tables, ASCII plots and statistics for experiments."""
+
+from repro.analysis.ascii_plot import render_series, render_sweep
+from repro.analysis.confidence import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    relative_error,
+)
+from repro.analysis.series import Series, SweepResult
+from repro.analysis.tables import format_sweep, format_table, format_value
+
+__all__ = [
+    "ConfidenceInterval",
+    "Series",
+    "SweepResult",
+    "format_sweep",
+    "format_table",
+    "format_value",
+    "mean_confidence_interval",
+    "relative_error",
+    "render_series",
+    "render_sweep",
+]

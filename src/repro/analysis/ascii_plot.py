@@ -1,0 +1,106 @@
+"""Terminal (ASCII) line plots — matplotlib-free figure rendering.
+
+The reproduction must regenerate the paper's figures without a display or
+plotting stack, so experiments render curves onto a character grid.  The
+output is deliberately close to the paper's gnuplot style: a boxed plot
+area, per-series glyphs, a legend mapping glyphs to labels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.series import Series, SweepResult
+
+__all__ = ["render_series", "render_sweep"]
+
+_GLYPHS = "*+xo#@%&$~^=123456789"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    """Map ``value`` in [lo, hi] to a cell index in [0, cells-1]."""
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(frac * (cells - 1)))))
+
+
+def render_series(
+    series: Sequence[Series],
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Render curves on a ``width × height`` character canvas.
+
+    NaN points (unstable operating region) are skipped, matching how the
+    paper's plots simply leave those regions empty.  ``y_range`` pins the
+    vertical axis (Figure 2 uses [-0.1, 0.1], Figure 3 [0, 0.1]).
+    """
+    finite = [s.finite() for s in series]
+    xs = np.concatenate([s.x for s in finite if len(s)]) if any(len(s) for s in finite) else np.array([0.0, 1.0])
+    ys = np.concatenate([s.y for s in finite if len(s)]) if any(len(s) for s in finite) else np.array([0.0, 1.0])
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    if y_range is not None:
+        y_lo, y_hi = y_range
+    else:
+        y_lo, y_hi = float(ys.min()), float(ys.max())
+        if math.isclose(y_lo, y_hi):
+            y_lo, y_hi = y_lo - 1.0, y_hi + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(finite):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        for xv, yv in zip(s.x, s.y):
+            if not (y_lo <= yv <= y_hi):
+                continue
+            col = _scale(float(xv), x_lo, x_hi, width)
+            row = height - 1 - _scale(float(yv), y_lo, y_hi, height)
+            canvas[row][col] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(width + 12))
+    top_label = f"{y_hi:+.3g}".rjust(9)
+    bottom_label = f"{y_lo:+.3g}".rjust(9)
+    for r, row_cells in enumerate(canvas):
+        label = top_label if r == 0 else (bottom_label if r == height - 1 else " " * 9)
+        lines.append(f"{label} |{''.join(row_cells)}|")
+    lines.append(" " * 10 + "+" + "-" * width + "+")
+    lines.append(
+        " " * 10
+        + f"{x_lo:<.3g}".ljust(width // 2)
+        + f"{x_label}".center(8)
+        + f"{x_hi:>.3g}".rjust(width - width // 2 - 8)
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={s.label}" for i, s in enumerate(series)
+    )
+    lines.append(f"  [{y_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def render_sweep(
+    sweep: SweepResult,
+    *,
+    width: int = 72,
+    height: int = 20,
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Render a :class:`SweepResult` panel with its title and axes."""
+    return render_series(
+        sweep.series,
+        width=width,
+        height=height,
+        x_label=sweep.x_label,
+        y_label=sweep.y_label,
+        title=sweep.title,
+        y_range=y_range,
+    )

@@ -1,0 +1,189 @@
+"""Lightweight containers for experiment outputs (series and sweeps).
+
+Experiments produce families of curves (e.g. Figure 2: one ``G(n̄(F))``
+curve per access probability ``p``).  :class:`Series` holds one labelled
+curve; :class:`SweepResult` bundles a family plus axis metadata and offers
+row/CSV export so benches can print exactly the rows the paper plots.
+
+These containers are deliberately plain — numpy arrays plus strings — so
+they can round-trip through CSV and be compared in tests.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["Series", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve: aligned ``x`` and ``y`` arrays.
+
+    NaN values in ``y`` are legitimate — they mark operating points outside
+    the stability region (see :mod:`repro.core.queueing`).
+    """
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", np.asarray(self.x, dtype=float))
+        object.__setattr__(self, "y", np.asarray(self.y, dtype=float))
+        if self.x.ndim != 1 or self.y.ndim != 1:
+            raise ParameterError("Series.x and Series.y must be 1-D")
+        if self.x.shape != self.y.shape:
+            raise ParameterError(
+                f"Series '{self.label}': x has {self.x.size} points but y has "
+                f"{self.y.size}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.x.size)
+
+    def finite(self) -> "Series":
+        """Copy with non-finite points dropped (for plotting/statistics)."""
+        mask = np.isfinite(self.y)
+        return Series(self.label, self.x[mask], self.y[mask], dict(self.meta))
+
+    def y_at(self, x_value: float, *, atol: float = 1e-9) -> float:
+        """The y value at grid point ``x_value`` (exact match within atol)."""
+        idx = np.flatnonzero(np.isclose(self.x, x_value, atol=atol))
+        if idx.size == 0:
+            raise KeyError(f"x={x_value} not on the grid of series '{self.label}'")
+        return float(self.y[idx[0]])
+
+    def is_monotone(self, *, increasing: bool, strict: bool = False) -> bool:
+        """Whether the finite part of the curve is monotone."""
+        ys = self.finite().y
+        if ys.size < 2:
+            return True
+        diffs = np.diff(ys)
+        if increasing:
+            return bool(np.all(diffs > 0) if strict else np.all(diffs >= -1e-12))
+        return bool(np.all(diffs < 0) if strict else np.all(diffs <= 1e-12))
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A family of curves sharing axes — one paper figure/table panel.
+
+    Attributes
+    ----------
+    title:
+        Human-readable name, e.g. ``"Figure 2 (h'=0.0)"``.
+    x_label, y_label:
+        Axis names using the paper's symbols (``"n(F)"``, ``"G"``, ...).
+    series:
+        The curves, in legend order.
+    params:
+        The fixed parameters of the panel (``{"lambda": 30, "b": 50, ...}``).
+    """
+
+    title: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...]
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "series", tuple(self.series))
+        labels = [s.label for s in self.series]
+        if len(set(labels)) != len(labels):
+            raise ParameterError(f"duplicate series labels in sweep '{self.title}'")
+
+    def __iter__(self) -> Iterator[Series]:
+        return iter(self.series)
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series labelled {label!r} in sweep '{self.title}'")
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(s.label for s in self.series)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_rows(self) -> list[list[float]]:
+        """Wide-format rows: ``[x, y_series0, y_series1, ...]``.
+
+        Requires all series to share the same x grid (true for every paper
+        figure).
+        """
+        if not self.series:
+            return []
+        x0 = self.series[0].x
+        for s in self.series[1:]:
+            if s.x.shape != x0.shape or not np.allclose(s.x, x0, equal_nan=True):
+                raise ParameterError(
+                    f"sweep '{self.title}': series do not share an x grid; "
+                    f"export each series separately"
+                )
+        rows = []
+        for i in range(x0.size):
+            rows.append([float(x0[i])] + [float(s.y[i]) for s in self.series])
+        return rows
+
+    def header(self) -> list[str]:
+        return [self.x_label] + [s.label for s in self.series]
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Serialise wide-format CSV; write to ``path`` when given."""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(self.header())
+        for row in self.to_rows():
+            writer.writerow(["" if math.isnan(v) else repr(v) for v in row])
+        text = buf.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_grid(
+        cls,
+        title: str,
+        x_label: str,
+        y_label: str,
+        x: Sequence[float] | np.ndarray,
+        grid: np.ndarray,
+        labels: Sequence[str],
+        params: Mapping[str, object] | None = None,
+    ) -> "SweepResult":
+        """Build from a 2-D array whose rows are curves over a common grid."""
+        grid = np.asarray(grid, dtype=float)
+        if grid.ndim != 2:
+            raise ParameterError("grid must be 2-D (one row per series)")
+        if grid.shape[0] != len(labels):
+            raise ParameterError(
+                f"grid has {grid.shape[0]} rows but {len(labels)} labels given"
+            )
+        x_arr = np.asarray(x, dtype=float)
+        series = tuple(
+            Series(label, x_arr, grid[i]) for i, label in enumerate(labels)
+        )
+        return cls(
+            title=title,
+            x_label=x_label,
+            y_label=y_label,
+            series=series,
+            params=dict(params or {}),
+        )

@@ -1,0 +1,25 @@
+"""Client cache substrate: replacement policies and interaction models."""
+
+from repro.cache.base import Cache, CacheEntry, CacheStats
+from repro.cache.clock import ClockCache
+from repro.cache.fifo import FIFOCache
+from repro.cache.gds import GreedyDualSizeCache
+from repro.cache.interaction import CACHE_POLICIES, ValueAwareCache, make_cache
+from repro.cache.lfu import LFUCache
+from repro.cache.lru import LRUCache
+from repro.cache.random_policy import RandomCache
+
+__all__ = [
+    "CACHE_POLICIES",
+    "Cache",
+    "CacheEntry",
+    "CacheStats",
+    "ClockCache",
+    "FIFOCache",
+    "GreedyDualSizeCache",
+    "LFUCache",
+    "LRUCache",
+    "RandomCache",
+    "ValueAwareCache",
+    "make_cache",
+]

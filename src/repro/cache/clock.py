@@ -1,0 +1,53 @@
+"""CLOCK (second-chance) replacement — FIFO with a reference bit."""
+
+from __future__ import annotations
+
+from repro.cache.base import Cache, CacheEntry
+
+__all__ = ["ClockCache"]
+
+
+class ClockCache(Cache):
+    """Approximates LRU with O(1) state per access.
+
+    Entries sit on a circular list; the hand sweeps, clearing reference
+    bits (``entry.priority``) and evicting the first unreferenced entry.
+    """
+
+    policy_name = "clock"
+
+    def __init__(self, capacity_items=None, *, capacity_bytes=None) -> None:
+        super().__init__(capacity_items, capacity_bytes=capacity_bytes)
+        self._ring: list[CacheEntry] = []
+        self._hand = 0
+
+    def _on_insert(self, entry: CacheEntry) -> None:
+        # New entries start *unreferenced*: the reference bit is earned by an
+        # access, so one sweep distinguishes used from merely-present pages
+        # (the second chance is meaningful from the first eviction on).
+        entry.priority = 0.0
+        self._ring.append(entry)
+
+    def _on_access(self, entry: CacheEntry) -> None:
+        entry.priority = 1.0
+
+    def _on_remove(self, entry: CacheEntry) -> None:
+        try:
+            idx = self._ring.index(entry)
+        except ValueError:  # pragma: no cover
+            return
+        self._ring.pop(idx)
+        if idx < self._hand:
+            self._hand -= 1
+        if self._ring:
+            self._hand %= len(self._ring)
+        else:
+            self._hand = 0
+
+    def _victim(self) -> CacheEntry:
+        while True:
+            entry = self._ring[self._hand]
+            if entry.priority == 0.0:
+                return entry
+            entry.priority = 0.0
+            self._hand = (self._hand + 1) % len(self._ring)

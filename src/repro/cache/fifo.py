@@ -1,0 +1,31 @@
+"""First-In-First-Out replacement (insertion order, accesses ignored)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cache.base import Cache, CacheEntry
+
+__all__ = ["FIFOCache"]
+
+
+class FIFOCache(Cache):
+    """Evicts the oldest *inserted* entry regardless of use."""
+
+    policy_name = "fifo"
+
+    def __init__(self, capacity_items=None, *, capacity_bytes=None) -> None:
+        super().__init__(capacity_items, capacity_bytes=capacity_bytes)
+        self._queue: deque[CacheEntry] = deque()
+
+    def _on_insert(self, entry: CacheEntry) -> None:
+        self._queue.append(entry)
+
+    def _on_remove(self, entry: CacheEntry) -> None:
+        try:
+            self._queue.remove(entry)
+        except ValueError:  # pragma: no cover - entry always queued
+            pass
+
+    def _victim(self) -> CacheEntry:
+        return self._queue[0]

@@ -1,0 +1,77 @@
+"""GreedyDual-Size replacement (Cao's thesis — paper reference [2]).
+
+GreedyDual-Size generalises LRU to heterogeneous item sizes and retrieval
+costs: each entry gets ``H = L + cost/size`` where ``L`` is a global
+inflation value; the minimum-H entry is evicted and its H becomes the new
+``L``.  With unit cost and unit size it degenerates to LRU.
+
+Included because the paper's §1.1 cites Cao's Application-Controlled File
+System as the integrated-caching baseline; the policy-ablation experiment
+can swap it in to show the threshold rule is policy-agnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.cache.base import Cache, CacheEntry
+
+__all__ = ["GreedyDualSizeCache"]
+
+
+class GreedyDualSizeCache(Cache):
+    """Cost/size-aware eviction with lazily-deleted heap ordering."""
+
+    policy_name = "gds"
+
+    def __init__(
+        self,
+        capacity_items=None,
+        *,
+        capacity_bytes=None,
+        cost_fn: Optional[Callable[[CacheEntry], float]] = None,
+    ) -> None:
+        super().__init__(capacity_items, capacity_bytes=capacity_bytes)
+        #: retrieval cost model; default 1 (pure size-aware GD-Size(1))
+        self._cost_fn = cost_fn or (lambda entry: 1.0)
+        self._inflation = 0.0
+        self._heap: list[tuple[float, int, CacheEntry]] = []
+        self._seq = 0
+        #: latest heap sequence number per resident key; older heap slots
+        #: are stale.  Also breaks H ties by recency (smaller seq = older
+        #: touch = evicted first), which matters when costs/sizes are
+        #: uniform and L has not yet inflated.
+        self._latest: dict[object, int] = {}
+
+    def _score(self, entry: CacheEntry) -> float:
+        return self._inflation + self._cost_fn(entry) / entry.size
+
+    def _push(self, entry: CacheEntry) -> None:
+        entry.priority = self._score(entry)
+        self._seq += 1
+        self._latest[entry.key] = self._seq
+        heapq.heappush(self._heap, (entry.priority, self._seq, entry))
+
+    def _on_insert(self, entry: CacheEntry) -> None:
+        self._push(entry)
+
+    def _on_access(self, entry: CacheEntry) -> None:
+        # Refresh H to the current inflation level (lazy: stale heap slots
+        # are skipped at eviction because priority no longer matches).
+        self._push(entry)
+
+    def _victim(self) -> CacheEntry:
+        while self._heap:
+            priority, seq, entry = heapq.heappop(self._heap)
+            if entry.key not in self._entries:
+                continue  # entry already evicted/removed; stale slot
+            if seq != self._latest.get(entry.key):
+                continue  # superseded by a newer push (access refreshed it)
+            self._inflation = priority
+            return entry
+        raise AssertionError("heap empty while cache non-empty")  # pragma: no cover
+
+    def _on_remove(self, entry: CacheEntry) -> None:
+        # Lazy deletion: heap slots are invalidated by the seq check above.
+        self._latest.pop(entry.key, None)

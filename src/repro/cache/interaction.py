@@ -1,0 +1,103 @@
+"""Operational counterparts of the paper's interaction models A and B.
+
+§2.2 defines the models abstractly; to *simulate* them we need concrete
+eviction behaviour:
+
+* **Model A** (*evict zero-value items*): :class:`ValueAwareCache` consults
+  a value oracle (predicted access probability per key) and evicts the
+  minimum-value entry — when zero-value entries exist they go first, which
+  is exactly the model-A premise.
+* **Model B** (*evict average-value items*): uniform-random eviction
+  (:class:`repro.cache.random_policy.RandomCache`) forfeits the cache-average
+  hit contribution ``h′/n̄(C)`` in expectation — exactly eq. (15).
+
+:func:`make_cache` is the factory the simulation configuration uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional
+
+import numpy as np
+
+from repro.cache.base import Cache, CacheEntry
+from repro.cache.clock import ClockCache
+from repro.cache.fifo import FIFOCache
+from repro.cache.gds import GreedyDualSizeCache
+from repro.cache.lfu import LFUCache
+from repro.cache.lru import LRUCache
+from repro.cache.random_policy import RandomCache
+from repro.errors import ConfigurationError
+
+__all__ = ["ValueAwareCache", "make_cache", "CACHE_POLICIES"]
+
+
+class ValueAwareCache(Cache):
+    """Evicts the entry with the smallest oracle value (model A semantics).
+
+    Parameters
+    ----------
+    value_fn:
+        Maps a key to its current value (e.g. predicted access
+        probability).  Evaluated at eviction time so a predictor that
+        re-ranks items between accesses is honoured.  Ties break LRU.
+    """
+
+    policy_name = "value-aware"
+
+    def __init__(
+        self,
+        capacity_items=None,
+        *,
+        capacity_bytes=None,
+        value_fn: Optional[Callable[[Hashable], float]] = None,
+    ) -> None:
+        super().__init__(capacity_items, capacity_bytes=capacity_bytes)
+        self._value_fn = value_fn or (lambda key: 0.0)
+
+    def set_value_fn(self, value_fn: Callable[[Hashable], float]) -> None:
+        """Swap the oracle (the controller wires the predictor in here)."""
+        self._value_fn = value_fn
+
+    def _victim(self) -> CacheEntry:
+        return min(
+            self._entries.values(),
+            key=lambda e: (self._value_fn(e.key), e.last_access_time, e.insert_time),
+        )
+
+
+#: Registry of constructible policies for configuration files / CLI.
+CACHE_POLICIES = {
+    "lru": LRUCache,
+    "lfu": LFUCache,
+    "fifo": FIFOCache,
+    "clock": ClockCache,
+    "random": RandomCache,
+    "gds": GreedyDualSizeCache,
+    "value-aware": ValueAwareCache,
+}
+
+
+def make_cache(
+    policy: str,
+    capacity_items: int,
+    *,
+    rng: np.random.Generator | None = None,
+    value_fn: Optional[Callable[[Hashable], float]] = None,
+) -> Cache:
+    """Instantiate a cache by policy name.
+
+    ``rng`` feeds the random policy (model B); ``value_fn`` feeds the
+    value-aware policy (model A).  Unused arguments are ignored so callers
+    can pass both and switch policies from configuration alone.
+    """
+    policy = policy.lower()
+    if policy not in CACHE_POLICIES:
+        raise ConfigurationError(
+            f"unknown cache policy {policy!r}; known: {sorted(CACHE_POLICIES)}"
+        )
+    if policy == "random":
+        return RandomCache(capacity_items, rng=rng)
+    if policy == "value-aware":
+        return ValueAwareCache(capacity_items, value_fn=value_fn)
+    return CACHE_POLICIES[policy](capacity_items)

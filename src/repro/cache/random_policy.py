@@ -1,0 +1,37 @@
+"""Uniform-random replacement.
+
+Random eviction is the operational embodiment of the paper's **model B**
+assumption: every resident entry is equally likely to go, so the expected
+hit-ratio contribution forfeited per eviction is exactly the cache average
+``h′/n̄(C)`` (eq. 15).  The model-comparison experiment pairs this policy
+with :class:`repro.cache.interaction.ValueAwareCache` (model A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.base import Cache, CacheEntry
+
+__all__ = ["RandomCache"]
+
+
+class RandomCache(Cache):
+    """Evicts a uniformly random entry."""
+
+    policy_name = "random"
+
+    def __init__(
+        self,
+        capacity_items=None,
+        *,
+        capacity_bytes=None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(capacity_items, capacity_bytes=capacity_bytes)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def _victim(self) -> CacheEntry:
+        keys = list(self._entries)
+        idx = int(self._rng.integers(len(keys)))
+        return self._entries[keys[idx]]

@@ -1,0 +1,100 @@
+"""Command-line interface: ``python -m repro <experiment-id> [options]``.
+
+Examples
+--------
+List experiments::
+
+    python -m repro --list
+
+Regenerate Figure 2 (prints the series and an ASCII plot)::
+
+    python -m repro fig2
+
+Run everything quickly and save reports::
+
+    python -m repro all --fast --output-dir reports/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import all_experiments, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Effect of Speculative Prefetching on Network "
+            "Load in Distributed Systems' (Tuah, Kumar, Venkatesh; IPDPS 2001)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (see --list) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shrink simulation durations/replications (CI-friendly)",
+    )
+    parser.add_argument(
+        "--no-plots", action="store_true", help="suppress ASCII plots"
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=None,
+        help="also dump each sweep as CSV into this directory",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="write each report to <dir>/<id>.txt instead of stdout only",
+    )
+    return parser
+
+
+def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
+    experiment = get_experiment(experiment_id)
+    result = experiment.run(fast=args.fast)
+    report = result.render(plots=not args.no_plots)
+    if args.csv_dir is not None:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+        for i, sweep in enumerate(result.sweeps):
+            safe = sweep.title.replace(" ", "_").replace("/", "-")[:60]
+            sweep.to_csv(args.csv_dir / f"{experiment_id}_{i}_{safe}.csv")
+    if args.output_dir is not None:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+        (args.output_dir / f"{experiment_id}.txt").write_text(
+            report + "\n", encoding="utf-8"
+        )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    registry = all_experiments()
+    if args.list or not args.experiment:
+        print("available experiments:")
+        for key in sorted(registry):
+            exp = registry[key]()
+            print(f"  {key:18s} {exp.paper_artifact:45s} {exp.description}")
+        return 0
+    targets = sorted(registry) if args.experiment == "all" else [args.experiment]
+    for target in targets:
+        print(_run_one(target, args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

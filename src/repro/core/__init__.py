@@ -1,0 +1,43 @@
+"""Analytical core: the paper's equations as validated, vectorised Python.
+
+Layout
+------
+``parameters``
+    :class:`SystemParameters` — the (b, λ, s̄, h′, n̄(C)) operating point.
+``queueing``
+    M/G/1 processor-sharing primitives (eq. 2–3).
+``no_prefetch``
+    Baseline access/retrieval times (eqs. 4–5, 26).
+``model_a`` / ``model_b`` / ``model_ab``
+    The prefetch–cache interaction models (§3.1, §3.2, §6).
+``interaction_base``
+    Shared derivation chain and positivity conditions ((12)/(20)).
+``thresholds``
+    The headline threshold rule (eqs. 13/21) and item selection.
+``excess_cost``
+    Excess retrieval cost and load impedance (§5, eq. 27).
+``optimizer``
+    Numerical audit of the threshold rule under heterogeneous probabilities.
+``sweeps``
+    Vectorised figure-grid evaluation.
+"""
+
+from repro.core.interaction_base import (
+    PositivityConditions,
+    PrefetchCacheModel,
+    max_np,
+)
+from repro.core.model_a import ModelA
+from repro.core.model_ab import ModelAB
+from repro.core.model_b import ModelB
+from repro.core.parameters import SystemParameters
+
+__all__ = [
+    "ModelA",
+    "ModelAB",
+    "ModelB",
+    "PositivityConditions",
+    "PrefetchCacheModel",
+    "SystemParameters",
+    "max_np",
+]

@@ -1,0 +1,112 @@
+"""Excess retrieval cost and load impedance (paper §5, eqs. (23)–(27)).
+
+Speculative prefetching necessarily fetches some items that are never used,
+so the per-request *retrieval time* the server expends rises from ``R′`` to
+``R``.  The paper defines the excess retrieval cost
+
+    ``C = R − R′``                                               (eq. 23)
+
+and, writing the utilisation as ``ρ = n̄(R)λs̄/b`` (eq. 24) with ``n̄(R)``
+retrievals per user request, derives the model-agnostic closed form
+
+    ``R = ρ / (λ(1 − ρ))``                                       (eq. 25)
+    ``C = (ρ − ρ′) / (λ(1 − ρ)(1 − ρ′))``                        (eq. 27)
+
+The formula exposes *load impedance*: ``∂C/∂ρ`` grows as ``1/(1−ρ)²``, so
+prefetching the same item costs more when the system is already loaded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.queueing import OnUnstable, resolve_unstable
+
+__all__ = [
+    "retrieval_time_per_request",
+    "excess_cost",
+    "marginal_cost",
+    "load_impedance_ratio",
+]
+
+
+def retrieval_time_per_request(
+    rho: np.ndarray | float,
+    request_rate: float,
+    *,
+    on_unstable: OnUnstable = "nan",
+) -> np.ndarray | float:
+    """``R = ρ/(λ(1 − ρ))`` — server time consumed per user request (eq. 25).
+
+    General in the prefetch-cache interaction: any model enters only through
+    its utilisation ``ρ``.
+    """
+    rho_arr = np.asarray(rho, dtype=float)
+    stable = rho_arr < 1.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r = rho_arr / (request_rate * (1.0 - rho_arr))
+    return resolve_unstable(r, stable, on_unstable, context="R (eq. 25)")
+
+
+def excess_cost(
+    rho: np.ndarray | float,
+    rho_prime: np.ndarray | float,
+    request_rate: float,
+    *,
+    on_unstable: OnUnstable = "nan",
+) -> np.ndarray | float:
+    """``C = (ρ − ρ′)/(λ(1 − ρ)(1 − ρ′))`` (eq. 27).
+
+    Parameters
+    ----------
+    rho:
+        Utilisation *with* prefetching (eq. 8/16, or measured).
+    rho_prime:
+        Utilisation with no prefetching, ``ρ′ = f′λs̄/b``.
+    request_rate:
+        User request rate ``λ``.
+    """
+    rho_arr = np.asarray(rho, dtype=float)
+    rho_p = np.asarray(rho_prime, dtype=float)
+    stable = (rho_arr < 1.0) & (rho_p < 1.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        c = (rho_arr - rho_p) / (request_rate * (1.0 - rho_arr) * (1.0 - rho_p))
+    return resolve_unstable(c, stable, on_unstable, context="C (eq. 27)")
+
+
+def marginal_cost(
+    rho: np.ndarray | float,
+    request_rate: float,
+    *,
+    on_unstable: OnUnstable = "nan",
+) -> np.ndarray | float:
+    """``dR/dρ = 1/(λ(1 − ρ)²)`` — cost of one extra unit of load at load ρ.
+
+    This derivative quantifies the paper's *load impedance* remark: fetching
+    the same item is ``(1−ρ_low)²/(1−ρ_high)²`` times more expensive at the
+    higher load.
+    """
+    rho_arr = np.asarray(rho, dtype=float)
+    stable = rho_arr < 1.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        m = 1.0 / (request_rate * (1.0 - rho_arr) ** 2)
+    return resolve_unstable(m, stable, on_unstable, context="dR/drho")
+
+
+def load_impedance_ratio(
+    rho_low: np.ndarray | float,
+    rho_high: np.ndarray | float,
+) -> np.ndarray | float:
+    """Relative marginal cost of prefetching at ``rho_high`` vs ``rho_low``.
+
+    Returns ``(1 − ρ_low)² / (1 − ρ_high)²`` (≥ 1 when ``ρ_high ≥ ρ_low``),
+    NaN where either load is saturated.
+    """
+    lo = np.asarray(rho_low, dtype=float)
+    hi = np.asarray(rho_high, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = ((1.0 - lo) / (1.0 - hi)) ** 2
+    ratio = np.where((lo < 1.0) & (hi < 1.0), ratio, np.nan)
+    if ratio.ndim == 0:
+        return float(ratio)
+    return ratio

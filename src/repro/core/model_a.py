@@ -1,0 +1,129 @@
+"""Model A — *evict zero-value items* (paper §2.2, §3.1).
+
+Model A assumes the cache always contains inconsequential entries (items
+with zero probability of future access) that can absorb evictions.  Each of
+the ``n̄(F)`` items prefetched per request therefore adds its full access
+probability ``p`` to the hit ratio:
+
+    ``h = h′ + n̄(F) p``                                          (eq. 7)
+
+which yields (for the derivation chain see
+:class:`repro.core.interaction_base.PrefetchCacheModel`):
+
+    ``t̄ = (f′ − n̄(F)p) s̄ / (b − f′λs̄ − n̄(F)(1 − p)λs̄)``         (eq. 10)
+    ``G = n̄(F) s̄ (pb − f′λs̄) / ((b − f′λs̄)(b − f′λs̄ − n̄(F)(1−p)λs̄))``
+                                                                  (eq. 11)
+    ``p_th = f′λs̄/b = ρ′``                                        (eq. 13)
+
+The sign of G is the sign of ``pb − f′λs̄`` (the other factors are positive
+inside the stability region), hence the boxed conclusion of §3.1: prefetch
+exclusively all items with ``p > ρ′``, with no further cap on how many
+(condition 3 is implied by the feasibility bound ``n̄(F) ≤ f′/p``, eq. 14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interaction_base import PrefetchCacheModel
+from repro.core.parameters import SystemParameters
+from repro.core.queueing import OnUnstable, resolve_unstable
+
+__all__ = ["ModelA", "hit_ratio", "improvement", "threshold"]
+
+
+def hit_ratio(
+    params: SystemParameters,
+    n_f: np.ndarray | float,
+    p: np.ndarray | float,
+) -> np.ndarray | float:
+    """``h = h′ + n̄(F)p`` (eq. 7)."""
+    out = params.hit_ratio + np.asarray(n_f, dtype=float) * np.asarray(p, dtype=float)
+    if np.ndim(out) == 0:
+        return float(out)
+    return out
+
+
+def threshold(params: SystemParameters) -> float:
+    """``p_th = ρ′ = f′λs̄/b`` (eq. 13)."""
+    return params.base_utilization
+
+
+def improvement(
+    params: SystemParameters,
+    n_f: np.ndarray | float,
+    p: np.ndarray | float,
+    *,
+    on_unstable: OnUnstable = "nan",
+) -> np.ndarray | float:
+    """Closed-form access improvement ``G`` (eq. 11).
+
+    Outside the stability region (either ``ρ′ ≥ 1`` or condition (12.3)
+    violated) eq. (11) is algebraically defined but physically meaningless
+    — the queue has no steady state — so the ``on_unstable`` policy applies.
+    """
+    n_f_arr = np.asarray(n_f, dtype=float)
+    p_arr = np.asarray(p, dtype=float)
+    b = params.bandwidth
+    s = params.mean_item_size
+    lam = params.request_rate
+    f = params.fault_ratio
+
+    headroom = b - f * lam * s  # condition (12.2)
+    post_headroom = headroom - n_f_arr * (1.0 - p_arr) * lam * s  # condition (12.3)
+    numerator = n_f_arr * s * (p_arr * b - f * lam * s)
+    stable = (headroom > 0.0) & (post_headroom > 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        g = numerator / (headroom * post_headroom)
+    return resolve_unstable(g, stable, on_unstable, context="model A G (eq. 11)")
+
+
+class ModelA(PrefetchCacheModel):
+    """Analytical prefetching model with zero-value eviction (paper §3.1).
+
+    Examples
+    --------
+    >>> from repro.core.parameters import SystemParameters
+    >>> m = ModelA(SystemParameters.paper_defaults())   # b=50, lam=30, s=1, h'=0
+    >>> m.threshold()
+    0.6
+    >>> m.improvement(1.0, 0.9) > 0           # prefetching p=0.9 items pays off
+    True
+    >>> m.improvement(1.0, 0.4) < 0           # p below p_th=0.6 backfires
+    True
+    """
+
+    name = "A"
+
+    def hit_ratio(
+        self, n_f: np.ndarray | float, p: np.ndarray | float
+    ) -> np.ndarray | float:
+        return hit_ratio(self.params, n_f, p)
+
+    def threshold(self) -> float:
+        return threshold(self.params)
+
+    def improvement_closed_form(
+        self,
+        n_f: np.ndarray | float,
+        p: np.ndarray | float,
+        *,
+        on_unstable: OnUnstable = "nan",
+    ) -> np.ndarray | float:
+        return improvement(self.params, n_f, p, on_unstable=on_unstable)
+
+    def n_f_limit(self, p: np.ndarray | float) -> np.ndarray | float:
+        """Stability cap from condition (12.3): ``n̄(F) < (b − f′λs̄)/((1−p)λs̄)``.
+
+        At ``p = 1`` prefetches displace demand fetches one-for-one and the
+        cap is infinite.
+        """
+        p_arr = np.asarray(p, dtype=float)
+        lam = self.params.request_rate
+        s = self.params.mean_item_size
+        with np.errstate(divide="ignore"):
+            out = self.params.capacity_headroom / ((1.0 - p_arr) * lam * s)
+        out = np.where(p_arr >= 1.0, np.inf, out)
+        if out.ndim == 0:
+            return float(out)
+        return out

@@ -1,0 +1,138 @@
+"""Model AB — non-uniform eviction value (paper §6, "a more realistic model").
+
+The paper sketches (without equations) a model AB in which every cached item
+has a *possibly zero, non-uniform* contribution to ``h′``; a sensible cache
+replacement policy evicts items whose contribution is *below average*, i.e.
+below ``h′/n̄(C)``.  The results then fall "between those for models A and B".
+
+We formalise that sketch with a single parameter
+``eviction_value ∈ [0, 1]`` (written α): each evicted item is assumed to
+contribute ``α · h′/n̄(C)`` to the hit ratio, so
+
+    ``h = h′ − n̄(F) α h′/n̄(C) + n̄(F) p``
+
+* α = 0 recovers model A (evictees were worthless),
+* α = 1 recovers model B (evictees carried average value),
+* 0 < α < 1 is the realistic in-between the paper argues for.
+
+The derivation chain is unchanged, giving
+
+    ``p_th = ρ′ + α h′/n̄(C)``
+
+which interpolates eqs. (13) and (21) and makes the paper's §6 claims
+(threshold gap at most ``1/n̄(C)``; bracketing) explicit and testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interaction_base import PrefetchCacheModel
+from repro.core.parameters import SystemParameters
+from repro.core.queueing import OnUnstable, resolve_unstable
+from repro.errors import ParameterError
+
+__all__ = ["ModelAB"]
+
+
+class ModelAB(PrefetchCacheModel):
+    """Interpolated prefetch-cache interaction (our formalisation of §6).
+
+    Parameters
+    ----------
+    params:
+        Operating point; ``cache_size`` is required unless ``eviction_value``
+        is exactly 0 (in which case the model degenerates to model A and
+        ``n̄(C)`` cancels).
+    eviction_value:
+        α — the evicted items' hit-ratio contribution as a fraction of the
+        cache average ``h′/n̄(C)``.
+
+    Examples
+    --------
+    >>> from repro.core.parameters import SystemParameters
+    >>> params = SystemParameters.paper_defaults(hit_ratio=0.3, cache_size=10)
+    >>> ModelAB(params, eviction_value=0.0).threshold()  # == model A
+    0.42
+    >>> round(ModelAB(params, eviction_value=1.0).threshold(), 3)  # == model B
+    0.45
+    """
+
+    name = "AB"
+
+    def __init__(self, params: SystemParameters, eviction_value: float = 0.5) -> None:
+        if not 0.0 <= eviction_value <= 1.0:
+            raise ParameterError(
+                f"eviction_value alpha must lie in [0, 1], got {eviction_value!r}"
+            )
+        if eviction_value > 0.0:
+            params.require_cache_size()
+        super().__init__(params)
+        self.eviction_value = float(eviction_value)
+
+    # ------------------------------------------------------------------
+    def _eviction_loss_per_item(self) -> float:
+        """Hit-ratio contribution forfeited per evicted item, ``α h′/n̄(C)``."""
+        if self.eviction_value == 0.0:
+            return 0.0
+        return self.eviction_value * self.params.hit_ratio / self.params.require_cache_size()
+
+    def hit_ratio(
+        self, n_f: np.ndarray | float, p: np.ndarray | float
+    ) -> np.ndarray | float:
+        n_f_arr = np.asarray(n_f, dtype=float)
+        p_arr = np.asarray(p, dtype=float)
+        out = (
+            self.params.hit_ratio
+            - n_f_arr * self._eviction_loss_per_item()
+            + n_f_arr * p_arr
+        )
+        if np.ndim(out) == 0:
+            return float(out)
+        return out
+
+    def threshold(self) -> float:
+        """``p_th = ρ′ + α h′/n̄(C)`` — interpolates eqs. (13) and (21)."""
+        return self.params.base_utilization + self._eviction_loss_per_item()
+
+    def improvement_closed_form(
+        self,
+        n_f: np.ndarray | float,
+        p: np.ndarray | float,
+        *,
+        on_unstable: OnUnstable = "nan",
+    ) -> np.ndarray | float:
+        """Closed-form G following the eq. (19) pattern with loss ``α h′/n̄(C)``.
+
+        Derivation mirrors the paper's: substitute the model-AB ``h`` into
+        eqs. (8)–(10) and subtract from eq. (5).  Setting α ∈ {0, 1} recovers
+        eqs. (11) and (19) exactly (tested).
+        """
+        n_f_arr = np.asarray(n_f, dtype=float)
+        p_arr = np.asarray(p, dtype=float)
+        b = self.params.bandwidth
+        s = self.params.mean_item_size
+        lam = self.params.request_rate
+        f = self.params.fault_ratio
+        loss = self._eviction_loss_per_item()
+
+        headroom = b - f * lam * s
+        post_headroom = headroom - n_f_arr * loss * lam * s - n_f_arr * (1.0 - p_arr) * lam * s
+        numerator = n_f_arr * s * (p_arr * b - f * lam * s - b * loss)
+        stable = (headroom > 0.0) & (post_headroom > 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            g = numerator / (headroom * post_headroom)
+        return resolve_unstable(g, stable, on_unstable, context="model AB G")
+
+    def n_f_limit(self, p: np.ndarray | float) -> np.ndarray | float:
+        """Stability cap on ``n̄(F)``: condition-3 analogue for model AB."""
+        p_arr = np.asarray(p, dtype=float)
+        lam = self.params.request_rate
+        s = self.params.mean_item_size
+        drain = self._eviction_loss_per_item() + (1.0 - p_arr)
+        with np.errstate(divide="ignore"):
+            out = self.params.capacity_headroom / (lam * s * drain)
+        out = np.where(drain <= 0.0, np.inf, out)
+        if out.ndim == 0:
+            return float(out)
+        return out

@@ -1,0 +1,140 @@
+"""Model B — *evict average-value items* (paper §2.2, §3.2).
+
+Model B assumes every cached entry contributes uniformly ``h′/n̄(C)`` to the
+no-prefetch hit ratio, so each eviction forfeits that much hit probability:
+
+    ``h = h′ − n̄(F) h′/n̄(C) + n̄(F) p``                           (eq. 15)
+
+leading to
+
+    ``t̄ = (f′ + n̄(F)h′/n̄(C) − n̄(F)p) s̄
+          / (b − f′λs̄ − (n̄(F)/n̄(C))h′λs̄ − n̄(F)(1−p)λs̄)``        (eq. 18)
+    ``G = n̄(F) s̄ (pb − f′λs̄ − bh′/n̄(C)) / ((b − f′λs̄) · denom(18))``
+                                                                  (eq. 19)
+    ``p_th = ρ′ + h′/n̄(C)``                                       (eq. 21)
+
+.. note::
+   The boxed conclusion at the end of the paper's §3.2 prints the threshold
+   as ``ρ′ + h′/n̄(F)``; equation (21) and condition (20.1) show the correct
+   denominator is the cache occupancy ``n̄(C)``.  We implement eq. (21).
+
+Model B needs one extra parameter (``n̄(C)``) compared with model A; §6 of
+the paper argues A approximates B whenever ``n̄(C) ≫ n̄(F)``, which our
+``tests/core/test_model_compare.py`` verifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interaction_base import PrefetchCacheModel
+from repro.core.parameters import SystemParameters
+from repro.core.queueing import OnUnstable, resolve_unstable
+
+__all__ = ["ModelB", "hit_ratio", "improvement", "threshold"]
+
+
+def hit_ratio(
+    params: SystemParameters,
+    n_f: np.ndarray | float,
+    p: np.ndarray | float,
+) -> np.ndarray | float:
+    """``h = h′ − n̄(F)h′/n̄(C) + n̄(F)p`` (eq. 15)."""
+    n_c = params.require_cache_size()
+    n_f_arr = np.asarray(n_f, dtype=float)
+    p_arr = np.asarray(p, dtype=float)
+    out = params.hit_ratio - n_f_arr * params.hit_ratio / n_c + n_f_arr * p_arr
+    if np.ndim(out) == 0:
+        return float(out)
+    return out
+
+
+def threshold(params: SystemParameters) -> float:
+    """``p_th = ρ′ + h′/n̄(C)`` (eq. 21, correcting the §3.2 box typo)."""
+    n_c = params.require_cache_size()
+    return params.base_utilization + params.hit_ratio / n_c
+
+
+def improvement(
+    params: SystemParameters,
+    n_f: np.ndarray | float,
+    p: np.ndarray | float,
+    *,
+    on_unstable: OnUnstable = "nan",
+) -> np.ndarray | float:
+    """Closed-form access improvement ``G`` for model B (eq. 19)."""
+    n_c = params.require_cache_size()
+    n_f_arr = np.asarray(n_f, dtype=float)
+    p_arr = np.asarray(p, dtype=float)
+    b = params.bandwidth
+    s = params.mean_item_size
+    lam = params.request_rate
+    f = params.fault_ratio
+    h = params.hit_ratio
+
+    headroom = b - f * lam * s  # condition (20.2)
+    post_headroom = (
+        headroom
+        - n_f_arr * h * lam * s / n_c
+        - n_f_arr * (1.0 - p_arr) * lam * s
+    )  # condition (20.3)
+    numerator = n_f_arr * s * (p_arr * b - f * lam * s - b * h / n_c)
+    stable = (headroom > 0.0) & (post_headroom > 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        g = numerator / (headroom * post_headroom)
+    return resolve_unstable(g, stable, on_unstable, context="model B G (eq. 19)")
+
+
+class ModelB(PrefetchCacheModel):
+    """Analytical prefetching model with average-value eviction (paper §3.2).
+
+    Examples
+    --------
+    >>> from repro.core.parameters import SystemParameters
+    >>> params = SystemParameters.paper_defaults(hit_ratio=0.3, cache_size=10)
+    >>> m = ModelB(params)
+    >>> round(m.threshold(), 3)               # rho' + h'/n(C) = 0.42 + 0.03
+    0.45
+    """
+
+    name = "B"
+
+    def __init__(self, params: SystemParameters) -> None:
+        params.require_cache_size()
+        super().__init__(params)
+
+    def hit_ratio(
+        self, n_f: np.ndarray | float, p: np.ndarray | float
+    ) -> np.ndarray | float:
+        return hit_ratio(self.params, n_f, p)
+
+    def threshold(self) -> float:
+        return threshold(self.params)
+
+    def improvement_closed_form(
+        self,
+        n_f: np.ndarray | float,
+        p: np.ndarray | float,
+        *,
+        on_unstable: OnUnstable = "nan",
+    ) -> np.ndarray | float:
+        return improvement(self.params, n_f, p, on_unstable=on_unstable)
+
+    def n_f_limit(self, p: np.ndarray | float) -> np.ndarray | float:
+        """Stability cap from condition (20.3).
+
+        ``n̄(F) < (b − f′λs̄) / (λs̄ (h′/n̄(C) + 1 − p))``.  The paper (eq. 22)
+        evaluates this at the marginal bandwidth ``b = f′λs̄/p_excess`` and
+        shows it exceeds ``max(np)``, making condition 3 redundant.
+        """
+        n_c = self.params.require_cache_size()
+        p_arr = np.asarray(p, dtype=float)
+        lam = self.params.request_rate
+        s = self.params.mean_item_size
+        drain = self.params.hit_ratio / n_c + (1.0 - p_arr)
+        with np.errstate(divide="ignore"):
+            out = self.params.capacity_headroom / (lam * s * drain)
+        out = np.where(drain <= 0.0, np.inf, out)
+        if out.ndim == 0:
+            return float(out)
+        return out

@@ -1,0 +1,105 @@
+"""Baseline (cache only, no prefetch) performance — paper §2.3, eqs. (4)–(5).
+
+With no prefetching, requests miss the cache with probability ``f′ = 1 − h′``
+and reach the shared server at rate ``f′λ``, giving utilisation
+``ρ′ = f′λs̄/b``.  The average retrieval time of a *fetched* item and the
+average access time over *all* requests (hits cost zero) follow directly
+from the M/G/1-PS response formula:
+
+    ``r̄′ = s̄ / (b (1 − ρ′))``                                   (eq. 4)
+    ``t̄′ = (1 − h′) r̄′ = f′ s̄ / (b − f′ λ s̄)``                  (eq. 5)
+
+These closed forms are the yardstick against which every prefetching policy
+is measured (``G = t̄′ − t̄``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.parameters import SystemParameters
+from repro.core.queueing import OnUnstable, resolve_unstable, stability_mask
+
+__all__ = [
+    "base_utilization",
+    "retrieval_time",
+    "access_time",
+    "retrieval_time_per_request",
+]
+
+
+def base_utilization(
+    params: SystemParameters,
+    *,
+    hit_ratio: np.ndarray | float | None = None,
+    bandwidth: np.ndarray | float | None = None,
+    mean_item_size: np.ndarray | float | None = None,
+) -> np.ndarray | float:
+    """``ρ′ = f′λs̄/b`` with optional vectorised overrides.
+
+    Each override replaces the corresponding scalar in ``params``; passing
+    arrays broadcasts, enabling e.g. the Figure 1 sweep over ``(s, b)``
+    grids without constructing thousands of parameter objects.
+    """
+    h = params.hit_ratio if hit_ratio is None else np.asarray(hit_ratio, dtype=float)
+    b = params.bandwidth if bandwidth is None else np.asarray(bandwidth, dtype=float)
+    s = (
+        params.mean_item_size
+        if mean_item_size is None
+        else np.asarray(mean_item_size, dtype=float)
+    )
+    rho = (1.0 - np.asarray(h, dtype=float)) * params.request_rate * s / b
+    if np.ndim(rho) == 0:
+        return float(rho)
+    return rho
+
+
+def retrieval_time(
+    params: SystemParameters,
+    *,
+    on_unstable: OnUnstable = "nan",
+) -> float:
+    """Mean retrieval time of one demand-fetched item, ``r̄′`` (eq. 4)."""
+    rho = params.base_utilization
+    value = params.mean_item_size / (params.bandwidth * (1.0 - rho)) if rho < 1 else np.nan
+    out = resolve_unstable(
+        np.asarray(value), np.asarray(rho < 1.0), on_unstable, context="r_bar_prime (eq. 4)"
+    )
+    return float(out)
+
+
+def access_time(
+    params: SystemParameters,
+    *,
+    on_unstable: OnUnstable = "nan",
+) -> float:
+    """Mean access time over all requests, ``t̄′ = f′s̄/(b − f′λs̄)`` (eq. 5).
+
+    Cache hits contribute zero; the remaining fraction ``f′`` pays ``r̄′``.
+    """
+    f = params.fault_ratio
+    denom = params.capacity_headroom  # b - f' lambda s
+    stable = np.asarray(denom > 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        value = np.asarray(f * params.mean_item_size / denom)
+    out = resolve_unstable(value, stable, on_unstable, context="t_bar_prime (eq. 5)")
+    return float(out)
+
+
+def retrieval_time_per_request(
+    params: SystemParameters,
+    *,
+    on_unstable: OnUnstable = "nan",
+) -> float:
+    """Server time consumed per *user request*, ``R′ = ρ′/(λ(1−ρ′))`` (eq. 26).
+
+    ``R′`` counts only demand fetches (``n̄′(R) = f′`` items per request on
+    average) and is the baseline for the excess-cost definition
+    ``C = R − R′`` (eq. 23).
+    """
+    rho = params.base_utilization
+    stable = np.asarray(rho < 1.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        value = np.asarray(rho / (params.request_rate * (1.0 - rho)))
+    out = resolve_unstable(value, stable, on_unstable, context="R_prime (eq. 26)")
+    return float(out)

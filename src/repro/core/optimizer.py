@@ -1,0 +1,205 @@
+"""Prefetch-set optimisation — numerical audit of the paper's threshold rule.
+
+The paper proves the threshold rule optimal for the homogeneous case (all
+candidates share one access probability ``p``).  Real predictors emit
+*heterogeneous* probabilities, so this module generalises the model-A access
+time to an arbitrary candidate set ``S``:
+
+    ``h(S)   = h′ + Σ_{i∈S} p_i``
+    ``ρ(S)   = (1 − h(S) + |S|) λ s̄ / b``
+    ``t̄(S)   = (1 − h(S)) · s̄ / (b (1 − ρ(S)))``
+    ``G(S)   = t̄′ − t̄(S)``
+
+and provides three solvers:
+
+* :func:`threshold_set` — the paper's rule (take every ``p_i > ρ′``),
+* :func:`greedy_set` — iteratively add the candidate with the best marginal
+  gain while it is positive,
+* :func:`exhaustive_set` — optimal by brute force (2^n subsets, n ≤ ~20).
+
+The discrete marginal condition for adding item ``i`` to set ``S`` works out
+to ``p_i · b > λ s̄ (f′(1 − p_i) + (p_i |S| − P_S))`` with ``P_S = Σ_{j∈S}
+p_j``; for ``S = ∅`` this is exactly ``p_i > ρ′``.  For non-empty ``S`` the
+rule is only *approximately* set-independent, so the threshold rule can be
+marginally sub-optimal under heterogeneity — an effect the
+``policy-ablation`` experiment quantifies (it is tiny in practice, which is
+why the paper's conclusion stands).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import no_prefetch
+from repro.core.parameters import SystemParameters
+from repro.errors import ParameterError
+
+__all__ = [
+    "PrefetchPlan",
+    "improvement_for_set",
+    "threshold_set",
+    "greedy_set",
+    "exhaustive_set",
+]
+
+
+@dataclass(frozen=True)
+class PrefetchPlan:
+    """Result of a set optimisation.
+
+    Attributes
+    ----------
+    selected:
+        Indices into the candidate-probability sequence, sorted ascending.
+    improvement:
+        ``G`` achieved by the selected set (0.0 for the empty set).
+    """
+
+    selected: tuple[int, ...]
+    improvement: float
+
+    @property
+    def size(self) -> int:
+        return len(self.selected)
+
+
+def _validate_probs(probabilities: Sequence[float]) -> np.ndarray:
+    probs = np.asarray(probabilities, dtype=float)
+    if probs.ndim != 1:
+        raise ParameterError("probabilities must be a 1-D sequence")
+    if np.any((probs < 0.0) | (probs > 1.0)):
+        raise ParameterError("access probabilities must lie in [0, 1]")
+    return probs
+
+
+def improvement_for_set(
+    params: SystemParameters,
+    probabilities: Sequence[float],
+    selected: Sequence[int] | None = None,
+) -> float:
+    """Model-A improvement ``G(S)`` for a heterogeneous candidate set.
+
+    ``selected=None`` selects every candidate.  Returns NaN when the chosen
+    set drives the system out of its stability region (the plan is then
+    infeasible, not merely unprofitable).
+    """
+    probs = _validate_probs(probabilities)
+    if selected is None:
+        chosen = probs
+    else:
+        idx = np.asarray(sorted(set(int(i) for i in selected)), dtype=int)
+        if idx.size and (idx.min() < 0 or idx.max() >= probs.size):
+            raise ParameterError("selected indices out of range")
+        chosen = probs[idx]
+    mass = float(chosen.sum())
+    count = float(chosen.size)
+    if count == 0:
+        return 0.0  # exact: no prefetching means G is identically zero
+    if mass > params.fault_ratio + 1e-12:
+        # More probability mass than future faults can absorb (cf. eq. 6).
+        raise ParameterError(
+            f"selected probability mass {mass:.4f} exceeds fault ratio "
+            f"{params.fault_ratio:.4f}; violates max(np) feasibility (eq. 6)"
+        )
+    h = params.hit_ratio + mass
+    rho = (1.0 - h + count) * params.request_rate * params.service_time
+    if rho >= 1.0:
+        return float("nan")
+    t_prime = no_prefetch.access_time(params, on_unstable="nan")
+    t = (1.0 - h) * params.mean_item_size / (params.bandwidth * (1.0 - rho))
+    return float(t_prime - t)
+
+
+def threshold_set(
+    params: SystemParameters,
+    probabilities: Sequence[float],
+) -> PrefetchPlan:
+    """The paper's rule: select every candidate with ``p_i > p_th = ρ′``.
+
+    Selection honours the eq. (6) feasibility cap: the combined probability
+    mass of selected items cannot exceed the fault ratio ``f′`` (otherwise
+    the probability model is inconsistent), so candidates are admitted in
+    descending-probability order while mass remains.
+    """
+    probs = _validate_probs(probabilities)
+    p_th = params.base_utilization
+    selected: list[int] = []
+    mass = 0.0
+    for i in np.argsort(-probs, kind="stable"):
+        p_i = float(probs[i])
+        if p_i > p_th and mass + p_i <= params.fault_ratio + 1e-12:
+            selected.append(int(i))
+            mass += p_i
+    selected_t = tuple(sorted(selected))
+    gain = improvement_for_set(params, probs, selected_t) if selected_t else 0.0
+    return PrefetchPlan(selected=selected_t, improvement=float(gain))
+
+
+def greedy_set(
+    params: SystemParameters,
+    probabilities: Sequence[float],
+) -> PrefetchPlan:
+    """Greedy marginal-gain selection.
+
+    Repeatedly add the candidate whose inclusion raises ``G(S)`` the most;
+    stop when no candidate has a positive (and stable) marginal gain.
+    Candidates are considered in descending probability, which makes the
+    greedy order deterministic.
+    """
+    probs = _validate_probs(probabilities)
+    remaining = list(np.argsort(-probs))
+    selected: list[int] = []
+    current = 0.0
+    improved = True
+    while improved and remaining:
+        improved = False
+        best_idx: int | None = None
+        best_gain = current
+        for i in remaining:
+            trial = selected + [int(i)]
+            try:
+                gain = improvement_for_set(params, probs, trial)
+            except ParameterError:
+                continue  # would exceed the max(np) feasibility mass
+            if np.isfinite(gain) and gain > best_gain + 1e-15:
+                best_gain = gain
+                best_idx = int(i)
+        if best_idx is not None:
+            selected.append(best_idx)
+            remaining.remove(best_idx)
+            current = best_gain
+            improved = True
+    return PrefetchPlan(selected=tuple(sorted(selected)), improvement=float(current))
+
+
+def exhaustive_set(
+    params: SystemParameters,
+    probabilities: Sequence[float],
+    *,
+    max_candidates: int = 20,
+) -> PrefetchPlan:
+    """Optimal subset by brute force — O(2^n), guarded by ``max_candidates``."""
+    probs = _validate_probs(probabilities)
+    n = probs.size
+    if n > max_candidates:
+        raise ParameterError(
+            f"exhaustive search over {n} candidates would enumerate 2^{n} "
+            f"subsets; raise max_candidates explicitly if intended"
+        )
+    best: tuple[int, ...] = ()
+    best_gain = 0.0
+    indices = range(n)
+    for k in range(1, n + 1):
+        for combo in combinations(indices, k):
+            try:
+                gain = improvement_for_set(params, probs, combo)
+            except ParameterError:
+                continue
+            if np.isfinite(gain) and gain > best_gain + 1e-15:
+                best_gain = gain
+                best = combo
+    return PrefetchPlan(selected=tuple(best), improvement=float(best_gain))

@@ -1,0 +1,171 @@
+"""System parameters shared by all analytical models.
+
+The paper (§2) describes a population of users behind a proxy issuing
+requests at aggregate rate ``lam`` for items of mean size ``s_bar`` over a
+shared network of bandwidth ``b``; without prefetching a fraction ``h_prime``
+of requests hit the local cache.  :class:`SystemParameters` bundles those
+primitives, validates their domains and derives the quantities every formula
+needs (service time ``x = s̄/b``, no-prefetch utilisation ``ρ′ = f′λs̄/b``,
+...).
+
+All symbols follow the paper's appendix:
+
+====================  =======================================================
+attribute             paper symbol / meaning
+====================  =======================================================
+``bandwidth``         ``b`` — capacity of the shared server (bytes/s)
+``request_rate``      ``λ`` — aggregate user request rate (requests/s)
+``mean_item_size``    ``s̄`` — average item size (bytes)
+``hit_ratio``         ``h′`` — cache hit ratio with *no* prefetching
+``cache_size``        ``n̄(C)`` — mean number of cached items (model B only)
+====================  =======================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import ParameterError
+
+__all__ = ["SystemParameters"]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ParameterError(message)
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """Validated bundle of the paper's model primitives.
+
+    Parameters
+    ----------
+    bandwidth:
+        Shared server capacity ``b > 0``.  The paper's figures use
+        ``b ∈ {50, 100, ..., 450}``.
+    request_rate:
+        Aggregate request rate ``λ > 0`` (the figures use ``λ = 30``).
+    mean_item_size:
+        Mean item size ``s̄ > 0`` (the figures use ``s̄ = 1``).
+    hit_ratio:
+        No-prefetch cache hit ratio ``h′ ∈ [0, 1)``.  ``h′ = 1`` would mean
+        every request is served locally, leaving nothing to model.
+    cache_size:
+        Mean number of items resident in a user's cache, ``n̄(C)``.  Only
+        model B (and the hybrid model AB) uses it; ``None`` is accepted for
+        model-A-only work, mirroring the paper's remark (§6) that model A
+        "has one less parameter".
+
+    Examples
+    --------
+    >>> params = SystemParameters(bandwidth=50, request_rate=30,
+    ...                           mean_item_size=1.0, hit_ratio=0.0)
+    >>> params.base_utilization
+    0.6
+    >>> params.service_time
+    0.02
+    """
+
+    bandwidth: float
+    request_rate: float
+    mean_item_size: float
+    hit_ratio: float = 0.0
+    cache_size: float | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            math.isfinite(self.bandwidth) and self.bandwidth > 0,
+            f"bandwidth b must be finite and > 0, got {self.bandwidth!r}",
+        )
+        _require(
+            math.isfinite(self.request_rate) and self.request_rate > 0,
+            f"request_rate lambda must be finite and > 0, got {self.request_rate!r}",
+        )
+        _require(
+            math.isfinite(self.mean_item_size) and self.mean_item_size > 0,
+            f"mean_item_size s must be finite and > 0, got {self.mean_item_size!r}",
+        )
+        _require(
+            0.0 <= self.hit_ratio < 1.0,
+            f"hit_ratio h' must lie in [0, 1), got {self.hit_ratio!r}",
+        )
+        if self.cache_size is not None:
+            _require(
+                math.isfinite(self.cache_size) and self.cache_size > 0,
+                f"cache_size n(C) must be finite and > 0, got {self.cache_size!r}",
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities (paper appendix symbols)
+    # ------------------------------------------------------------------
+    @property
+    def fault_ratio(self) -> float:
+        """``f′ = 1 − h′`` — fraction of requests that miss the cache."""
+        return 1.0 - self.hit_ratio
+
+    @property
+    def service_time(self) -> float:
+        """``x = s̄ / b`` — server time to stream one average item (eq. 3)."""
+        return self.mean_item_size / self.bandwidth
+
+    @property
+    def demand_rate(self) -> float:
+        """``f′ λ`` — rate of requests that reach the server (demand fetches)."""
+        return self.fault_ratio * self.request_rate
+
+    @property
+    def base_utilization(self) -> float:
+        """``ρ′ = f′ λ s̄ / b`` — utilisation with no prefetching (below eq. 4)."""
+        return self.demand_rate * self.service_time
+
+    @property
+    def is_stable(self) -> bool:
+        """Whether the *no-prefetch* system is stable, ``ρ′ < 1`` (cond. 12.2)."""
+        return self.base_utilization < 1.0
+
+    @property
+    def capacity_headroom(self) -> float:
+        """``b − f′λs̄`` — spare capacity after demand fetches are served.
+
+        This is the recurring denominator factor of eqs. (5), (11) and (19);
+        it is positive exactly when :attr:`is_stable`.
+        """
+        return self.bandwidth - self.demand_rate * self.mean_item_size
+
+    # ------------------------------------------------------------------
+    # Convenience constructors / mutation
+    # ------------------------------------------------------------------
+    def with_(self, **changes: Any) -> "SystemParameters":
+        """Return a copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    def require_cache_size(self) -> float:
+        """Return ``n̄(C)``, raising :class:`ParameterError` when unset."""
+        if self.cache_size is None:
+            raise ParameterError(
+                "this operation requires cache_size n(C); model B and model AB "
+                "need the mean cache occupancy, see paper eq. (15)"
+            )
+        return self.cache_size
+
+    @classmethod
+    def paper_defaults(
+        cls,
+        *,
+        bandwidth: float = 50.0,
+        hit_ratio: float = 0.0,
+        mean_item_size: float = 1.0,
+        request_rate: float = 30.0,
+        cache_size: float | None = None,
+    ) -> "SystemParameters":
+        """Parameters used throughout the paper's figures (s̄=1, λ=30, b=50)."""
+        return cls(
+            bandwidth=bandwidth,
+            request_rate=request_rate,
+            mean_item_size=mean_item_size,
+            hit_ratio=hit_ratio,
+            cache_size=cache_size,
+        )

@@ -1,0 +1,170 @@
+"""M/G/1 processor-sharing queueing primitives (paper §2.1, eq. 2–3).
+
+The paper models the entire network behind the proxy as a single server
+offering a *processor-sharing* (round-robin) service discipline.  For an
+M/G/1-PS queue the mean time to complete a job of service requirement ``x``
+is insensitive to the service-time distribution and equals
+
+    ``r̄ = x / (1 − ρ)``                                          (eq. 2)
+
+with system utilisation ``ρ``.  This module provides that formula, its
+inverses, and a handful of standard PS facts (mean number in system,
+slowdown, busy probability) used by the simulator validation suite.
+
+All functions are numpy-vectorised: scalars in → scalar ``float`` out,
+arrays in → arrays out.  Evaluation outside the stability region ``ρ < 1``
+is controlled by ``on_unstable``:
+
+``"nan"`` (default)
+    return NaN for the offending entries — convenient for plotting sweeps,
+``"raise"``
+    raise :class:`repro.errors.StabilityError`,
+``"inf"``
+    return ``+inf`` (a saturated queue's response time diverges).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import StabilityError
+
+__all__ = [
+    "OnUnstable",
+    "ps_response_time",
+    "ps_slowdown",
+    "ps_mean_jobs",
+    "utilization",
+    "max_stable_rate",
+    "resolve_unstable",
+    "stability_mask",
+]
+
+OnUnstable = Literal["nan", "raise", "inf"]
+
+_VALID_ON_UNSTABLE = ("nan", "raise", "inf")
+
+
+def _validate_policy(on_unstable: str) -> None:
+    if on_unstable not in _VALID_ON_UNSTABLE:
+        raise ValueError(
+            f"on_unstable must be one of {_VALID_ON_UNSTABLE}, got {on_unstable!r}"
+        )
+
+
+def stability_mask(rho: np.ndarray | float) -> np.ndarray:
+    """Boolean mask of operating points with ``0 <= rho < 1``."""
+    rho_arr = np.asarray(rho, dtype=float)
+    return (rho_arr >= 0.0) & (rho_arr < 1.0)
+
+
+def resolve_unstable(
+    values: np.ndarray,
+    stable: np.ndarray,
+    on_unstable: OnUnstable,
+    *,
+    context: str = "queueing formula",
+) -> np.ndarray | float:
+    """Apply the ``on_unstable`` policy to ``values`` where ``stable`` is False.
+
+    Returns a scalar ``float`` when the inputs were 0-d.  This helper is
+    shared by every closed-form in :mod:`repro.core` so the three policies
+    behave identically package-wide.
+    """
+    _validate_policy(on_unstable)
+    values = np.asarray(values, dtype=float)
+    stable = np.asarray(stable, dtype=bool)
+    if on_unstable == "raise":
+        if not np.all(stable):
+            raise StabilityError(
+                f"{context} evaluated outside the stability region "
+                f"({np.count_nonzero(~stable)} of {stable.size} points have rho >= 1)"
+            )
+        out = values
+    else:
+        fill = np.nan if on_unstable == "nan" else np.inf
+        out = np.where(stable, values, fill)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def utilization(
+    arrival_rate: np.ndarray | float,
+    service_time: np.ndarray | float,
+) -> np.ndarray | float:
+    """``ρ = λ_eff · x`` — offered load of a single-server queue.
+
+    ``arrival_rate`` is the rate of *jobs reaching the server* (after cache
+    filtering and including prefetches), ``service_time`` the mean work per
+    job, ``x = s̄/b`` (eq. 3).
+    """
+    rho = np.asarray(arrival_rate, dtype=float) * np.asarray(service_time, dtype=float)
+    if rho.ndim == 0:
+        return float(rho)
+    return rho
+
+
+def ps_response_time(
+    service_time: np.ndarray | float,
+    rho: np.ndarray | float,
+    *,
+    on_unstable: OnUnstable = "nan",
+) -> np.ndarray | float:
+    """Mean response time ``r̄ = x / (1 − ρ)`` of an M/G/1-PS server (eq. 2).
+
+    The PS discipline is *insensitive*: only the mean of the service-time
+    distribution matters, which is why the paper can reason with ``s̄/b``
+    alone.  For a job of specific size ``x`` the *conditional* expected
+    response time is also ``x/(1−ρ)`` — pass that ``x`` directly.
+    """
+    x = np.asarray(service_time, dtype=float)
+    rho_arr = np.asarray(rho, dtype=float)
+    stable = stability_mask(rho_arr)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r = x / (1.0 - rho_arr)
+    return resolve_unstable(r, stable, on_unstable, context="ps_response_time")
+
+
+def ps_slowdown(
+    rho: np.ndarray | float,
+    *,
+    on_unstable: OnUnstable = "nan",
+) -> np.ndarray | float:
+    """Mean slowdown ``1/(1−ρ)`` — response time per unit of service."""
+    rho_arr = np.asarray(rho, dtype=float)
+    stable = stability_mask(rho_arr)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        s = 1.0 / (1.0 - rho_arr)
+    return resolve_unstable(s, stable, on_unstable, context="ps_slowdown")
+
+
+def ps_mean_jobs(
+    rho: np.ndarray | float,
+    *,
+    on_unstable: OnUnstable = "nan",
+) -> np.ndarray | float:
+    """Mean number of concurrent jobs ``N̄ = ρ/(1−ρ)`` in an M/G/1-PS server.
+
+    Identical to M/M/1 by PS insensitivity; used by the DES validation
+    experiments to cross-check the simulated server occupancy.
+    """
+    rho_arr = np.asarray(rho, dtype=float)
+    stable = stability_mask(rho_arr)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        n = rho_arr / (1.0 - rho_arr)
+    return resolve_unstable(n, stable, on_unstable, context="ps_mean_jobs")
+
+
+def max_stable_rate(
+    service_time: np.ndarray | float,
+) -> np.ndarray | float:
+    """Largest job arrival rate the server sustains: ``λ_max = 1/x``."""
+    x = np.asarray(service_time, dtype=float)
+    with np.errstate(divide="ignore"):
+        rate = 1.0 / x
+    if rate.ndim == 0:
+        return float(rate)
+    return rate

@@ -1,0 +1,169 @@
+"""Vectorised parameter sweeps behind the paper's figures.
+
+Each function evaluates a closed form over the exact grid a figure uses and
+returns a :class:`repro.analysis.series.SweepResult` ready for rendering or
+CSV export.  The heavy lifting is numpy broadcasting — no Python loops over
+grid points — per the scientific-Python optimisation guidance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.series import Series, SweepResult
+from repro.core.excess_cost import excess_cost as _excess_cost
+from repro.core.interaction_base import PrefetchCacheModel
+from repro.core.model_a import ModelA
+from repro.core.parameters import SystemParameters
+from repro.core.thresholds import threshold_sweep
+
+__all__ = [
+    "threshold_vs_size",
+    "improvement_vs_prefetch_count",
+    "excess_cost_vs_prefetch_count",
+    "improvement_vs_load",
+]
+
+
+def threshold_vs_size(
+    params: SystemParameters,
+    *,
+    sizes: Sequence[float] | np.ndarray,
+    bandwidths: Sequence[float] | np.ndarray,
+    model: str = "A",
+) -> SweepResult:
+    """``p_th`` against item size ``s`` for a family of bandwidths (Figure 1).
+
+    One series per bandwidth, labelled ``b = <value>`` as in the paper's
+    legend.  Thresholds above 1 mean "nothing is worth prefetching"; they
+    are kept in the data (the paper clips the plot axis at 1 instead).
+    """
+    grid = threshold_sweep(params, sizes=sizes, bandwidths=bandwidths, model=model)
+    labels = [f"b = {b:g}" for b in np.asarray(bandwidths, dtype=float)]
+    return SweepResult.from_grid(
+        title=f"p_th vs s (model {model}, h'={params.hit_ratio:g})",
+        x_label="s",
+        y_label="p_th",
+        x=np.asarray(sizes, dtype=float),
+        grid=grid,
+        labels=labels,
+        params={
+            "lambda": params.request_rate,
+            "h_prime": params.hit_ratio,
+            "model": model,
+        },
+    )
+
+
+def improvement_vs_prefetch_count(
+    model: PrefetchCacheModel,
+    *,
+    n_f_grid: Sequence[float] | np.ndarray,
+    probabilities: Sequence[float] | np.ndarray,
+    closed_form: bool = True,
+) -> SweepResult:
+    """``G`` against ``n̄(F)`` for a family of access probabilities (Figure 2).
+
+    ``closed_form=True`` evaluates the paper's eq. (11)/(19); ``False`` uses
+    the generic derivation from the hit-ratio map (the two agree — tested).
+    Unstable points come back NaN.
+    """
+    n_f = np.asarray(n_f_grid, dtype=float)[np.newaxis, :]
+    p = np.asarray(probabilities, dtype=float)[:, np.newaxis]
+    if closed_form:
+        grid = np.asarray(model.improvement_closed_form(n_f, p, on_unstable="nan"))
+    else:
+        grid = np.asarray(model.improvement(n_f, p, on_unstable="nan"))
+    labels = [f"p = {pv:g}" for pv in np.asarray(probabilities, dtype=float)]
+    prm = model.params
+    return SweepResult.from_grid(
+        title=f"G vs n(F) (model {model.name}, h'={prm.hit_ratio:g})",
+        x_label="n(F)",
+        y_label="G",
+        x=np.asarray(n_f_grid, dtype=float),
+        grid=grid,
+        labels=labels,
+        params={
+            "s": prm.mean_item_size,
+            "lambda": prm.request_rate,
+            "b": prm.bandwidth,
+            "h_prime": prm.hit_ratio,
+            "model": model.name,
+        },
+    )
+
+
+def excess_cost_vs_prefetch_count(
+    model: PrefetchCacheModel,
+    *,
+    n_f_grid: Sequence[float] | np.ndarray,
+    probabilities: Sequence[float] | np.ndarray,
+) -> SweepResult:
+    """Excess retrieval cost ``C`` against ``n̄(F)`` (Figure 3).
+
+    Uses eq. (27) with the model's utilisation map; points where either the
+    baseline or the prefetching system saturates return NaN.
+    """
+    n_f = np.asarray(n_f_grid, dtype=float)[np.newaxis, :]
+    p = np.asarray(probabilities, dtype=float)[:, np.newaxis]
+    prm = model.params
+    rho = np.asarray(model.utilization(n_f, p))
+    grid = np.asarray(
+        _excess_cost(rho, prm.base_utilization, prm.request_rate, on_unstable="nan")
+    )
+    labels = [f"p = {pv:g}" for pv in np.asarray(probabilities, dtype=float)]
+    return SweepResult.from_grid(
+        title=f"C vs n(F) (model {model.name}, h'={prm.hit_ratio:g})",
+        x_label="n(F)",
+        y_label="C",
+        x=np.asarray(n_f_grid, dtype=float),
+        grid=grid,
+        labels=labels,
+        params={
+            "s": prm.mean_item_size,
+            "lambda": prm.request_rate,
+            "b": prm.bandwidth,
+            "h_prime": prm.hit_ratio,
+            "model": model.name,
+        },
+    )
+
+
+def improvement_vs_load(
+    params: SystemParameters,
+    *,
+    request_rates: Sequence[float] | np.ndarray,
+    n_f: float,
+    p: float,
+) -> SweepResult:
+    """``G`` and ``C`` against offered load λ — the load-impedance ablation.
+
+    Not a paper figure; supports the §5 observation that "prefetching an
+    item when the system load is high costs more".
+    """
+    lams = np.asarray(request_rates, dtype=float)
+    g = np.empty_like(lams)
+    c = np.empty_like(lams)
+    for i, lam in enumerate(lams):
+        prm = params.with_(request_rate=float(lam))
+        model = ModelA(prm)
+        g[i] = np.asarray(model.improvement_closed_form(n_f, p, on_unstable="nan"))
+        c[i] = np.asarray(model.excess_cost(n_f, p, on_unstable="nan"))
+    return SweepResult(
+        title=f"G and C vs lambda (model A, n(F)={n_f:g}, p={p:g})",
+        x_label="lambda",
+        y_label="value",
+        series=(
+            Series("G", lams, g),
+            Series("C", lams, c),
+        ),
+        params={
+            "s": params.mean_item_size,
+            "b": params.bandwidth,
+            "h_prime": params.hit_ratio,
+            "n_f": n_f,
+            "p": p,
+        },
+    )

@@ -1,0 +1,170 @@
+"""Threshold computations for the paper's headline rule (§3.1/§3.2 boxes).
+
+The paper's central prescription:
+
+    *To maximise the access improvement, prefetch exclusively all items with
+    access probability larger than the threshold value* ``p_th``.
+
+Model A:  ``p_th = ρ′ = f′λs̄/b``            (eq. 13)
+Model B:  ``p_th = ρ′ + h′/n̄(C)``            (eq. 21)
+
+This module supplies scalar and fully vectorised threshold evaluation
+(needed for the Figure 1 sweep over ``(s, b)`` grids), the decision helper
+``should_prefetch``, and :func:`select_items` which applies the rule to a
+concrete candidate list as a prefetch policy would.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.parameters import SystemParameters
+from repro.errors import ParameterError
+
+__all__ = [
+    "threshold_model_a",
+    "threshold_model_b",
+    "threshold_sweep",
+    "should_prefetch",
+    "select_items",
+]
+
+
+def threshold_model_a(
+    *,
+    bandwidth: np.ndarray | float,
+    request_rate: np.ndarray | float,
+    mean_item_size: np.ndarray | float,
+    hit_ratio: np.ndarray | float,
+) -> np.ndarray | float:
+    """Vectorised ``p_th = (1 − h′)λs̄/b`` (eq. 13).
+
+    All arguments broadcast; this is the workhorse behind Figure 1.  Values
+    above 1 are *returned as-is* — a threshold above 1 simply means no item
+    can profitably be prefetched at that operating point (the paper's plots
+    clip the axis at 1 instead).
+    """
+    out = (
+        (1.0 - np.asarray(hit_ratio, dtype=float))
+        * np.asarray(request_rate, dtype=float)
+        * np.asarray(mean_item_size, dtype=float)
+        / np.asarray(bandwidth, dtype=float)
+    )
+    if np.ndim(out) == 0:
+        return float(out)
+    return out
+
+
+def threshold_model_b(
+    *,
+    bandwidth: np.ndarray | float,
+    request_rate: np.ndarray | float,
+    mean_item_size: np.ndarray | float,
+    hit_ratio: np.ndarray | float,
+    cache_size: np.ndarray | float,
+) -> np.ndarray | float:
+    """Vectorised ``p_th = ρ′ + h′/n̄(C)`` (eq. 21)."""
+    n_c = np.asarray(cache_size, dtype=float)
+    if np.any(n_c <= 0):
+        raise ParameterError("cache_size n(C) must be > 0 for model B thresholds")
+    base = threshold_model_a(
+        bandwidth=bandwidth,
+        request_rate=request_rate,
+        mean_item_size=mean_item_size,
+        hit_ratio=hit_ratio,
+    )
+    out = np.asarray(base, dtype=float) + np.asarray(hit_ratio, dtype=float) / n_c
+    if np.ndim(out) == 0:
+        return float(out)
+    return out
+
+
+def threshold_sweep(
+    params: SystemParameters,
+    *,
+    sizes: Sequence[float] | np.ndarray,
+    bandwidths: Sequence[float] | np.ndarray,
+    model: str = "A",
+) -> np.ndarray:
+    """Grid of thresholds, shape ``(len(bandwidths), len(sizes))``.
+
+    This is exactly the Figure 1 computation: for each bandwidth curve,
+    ``p_th`` as a function of item size ``s``.
+    """
+    s = np.asarray(sizes, dtype=float)[np.newaxis, :]
+    b = np.asarray(bandwidths, dtype=float)[:, np.newaxis]
+    if model.upper() == "A":
+        return np.asarray(
+            threshold_model_a(
+                bandwidth=b,
+                request_rate=params.request_rate,
+                mean_item_size=s,
+                hit_ratio=params.hit_ratio,
+            )
+        )
+    if model.upper() == "B":
+        return np.asarray(
+            threshold_model_b(
+                bandwidth=b,
+                request_rate=params.request_rate,
+                mean_item_size=s,
+                hit_ratio=params.hit_ratio,
+                cache_size=params.require_cache_size(),
+            )
+        )
+    raise ParameterError(f"unknown interaction model {model!r}; expected 'A' or 'B'")
+
+
+def should_prefetch(
+    p: np.ndarray | float,
+    p_th: np.ndarray | float,
+    *,
+    strict: bool = True,
+) -> np.ndarray | bool:
+    """Apply the threshold rule: prefetch iff ``p > p_th``.
+
+    ``strict=True`` uses the paper's strict inequality (at ``p = p_th`` the
+    improvement G is exactly zero, so prefetching is pointless and merely
+    burns bandwidth — see Figure 2's flat ``p = p_th`` curve).
+    """
+    p_arr = np.asarray(p, dtype=float)
+    th = np.asarray(p_th, dtype=float)
+    out = (p_arr > th) if strict else (p_arr >= th)
+    if np.ndim(out) == 0:
+        return bool(out)
+    return out
+
+
+def select_items(
+    candidates: Iterable[tuple[Hashable, float]],
+    p_th: float,
+    *,
+    budget: int | None = None,
+) -> list[tuple[Hashable, float]]:
+    """Pick the items the threshold rule prefetches, most probable first.
+
+    Parameters
+    ----------
+    candidates:
+        ``(item, probability)`` pairs, e.g. a predictor's output.
+    p_th:
+        Threshold from :func:`threshold_model_a` / :func:`threshold_model_b`.
+    budget:
+        Optional hard cap on the number of selections (the paper shows no
+        cap is needed for G > 0, but real systems may bound queue depth).
+
+    Returns
+    -------
+    list of ``(item, probability)`` with ``probability > p_th``, sorted by
+    descending probability, truncated to ``budget`` when given.
+    """
+    chosen = [(item, float(p)) for item, p in candidates if float(p) > p_th]
+    chosen.sort(key=lambda pair: (-pair[1], str(pair[0])))
+    if budget is not None:
+        if budget < 0:
+            raise ParameterError(f"budget must be >= 0, got {budget!r}")
+        chosen = chosen[:budget]
+    return chosen

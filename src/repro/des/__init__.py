@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel (SimPy-style, dependency-free).
+
+Built because the planned SimPy substrate is unavailable offline; the API
+mirrors SimPy's process-interaction model so the simulation code reads like
+standard SimPy, plus an exact event-driven
+:class:`~repro.des.processor_sharing.ProcessorSharingServer` which SimPy
+itself lacks and the paper's M/G/1 round-robin model requires.
+"""
+
+from repro.des.environment import NORMAL, URGENT, Environment
+from repro.des.events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
+from repro.des.monitors import Tally, TimeSeries, TimeWeightedValue
+from repro.des.processor_sharing import ProcessorSharingServer, PSJob
+from repro.des.resources import Container, PriorityResource, Resource, Store
+from repro.des.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "NORMAL",
+    "PSJob",
+    "PriorityResource",
+    "Process",
+    "ProcessorSharingServer",
+    "RandomStreams",
+    "Resource",
+    "Store",
+    "Tally",
+    "TimeSeries",
+    "TimeWeightedValue",
+    "URGENT",
+]

@@ -1,0 +1,326 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the SimPy process-interaction style (the reproduction
+plan called for SimPy, which is unavailable offline — see DESIGN.md):
+*processes* are Python generators that ``yield`` :class:`Event` objects and
+are resumed when those events *trigger*.  An event carries a value (sent
+into the generator) or an exception (thrown into it).
+
+Event lifecycle::
+
+    PENDING ──succeed(value)──► TRIGGERED ──(env.step)──► PROCESSED
+        └────fail(exception)──► TRIGGERED (failed)
+
+Composite conditions (:class:`AllOf` / :class:`AnyOf`, also reachable via
+``&`` and ``|``) let a process wait for conjunctions/disjunctions of events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.des.environment import Environment
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "ConditionValue",
+]
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries arbitrary context from the interrupter (e.g. the
+    reason a prefetch was cancelled).
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence at a simulation time.
+
+    Parameters
+    ----------
+    env:
+        Owning environment; the event can only be scheduled on its queue.
+
+    Notes
+    -----
+    ``callbacks`` is a list of ``f(event)`` invoked when the environment
+    processes the event; it becomes ``None`` afterwards, which is also the
+    cheap "already processed" flag (as in SimPy).
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has a value/exception (it may still be queued)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (valid only once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception for failed events)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None, *, delay: float = 0.0) -> "Event":
+        """Trigger successfully with ``value`` after ``delay`` (default now)."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, *, delay: float = 0.0) -> "Event":
+        """Trigger as failed; ``exception`` is thrown into waiting processes."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, delay=delay)
+        return self
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal: starts a freshly created process at the current time."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks = [process._resume]
+        env.schedule(self, priority=Environment_URGENT)
+
+
+# Priority constant mirrored from environment to avoid a cycle at import.
+Environment_URGENT = 0
+
+
+class Process(Event):
+    """A running process: wraps a generator yielding events.
+
+    The process object is itself an event that triggers when the generator
+    returns (value = return value) or raises (failed event) — so processes
+    can wait for each other (``yield env.process(child())``).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Any, Any, Any]) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                f"did you call the process function?"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None  # event we are waiting on
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for (None if running)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process must be alive and not interrupting itself.  The event it
+        was waiting on stays valid: the process may yield it again later.
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        # Deliver asynchronously via a failed event so ordering stays sane.
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.callbacks = [self._resume]
+        self.env.schedule(interrupt_event, priority=0)
+        # Unhook from the old target so normal resumption doesn't double-fire.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._target = None
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        env = self.env
+        env._active_process = self
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            env._active_process = None
+            self._ok = True
+            self._value = stop.value
+            env.schedule(self)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            self._ok = False
+            self._value = exc
+            env.schedule(self)
+            return
+        env._active_process = None
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded {next_event!r}; processes must yield Event "
+                f"instances (Timeout, Process, resource requests, ...)"
+            )
+        if next_event.env is not env:
+            raise SimulationError("process yielded an event from another environment")
+        if next_event.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            immediate = Event(env)
+            immediate._ok = next_event._ok
+            immediate._value = next_event._value
+            immediate.callbacks = [self._resume]
+            env.schedule(immediate)
+            self._target = immediate
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+
+
+class ConditionValue(dict):
+    """Mapping of source events to their values for triggered conditions."""
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+        self._pending = set()
+        if not self.events:
+            self.succeed(ConditionValue())
+            return
+        for ev in self.events:
+            if ev.callbacks is None:  # already processed
+                self._check(ev)
+            else:
+                self._pending.add(ev)
+                ev.callbacks.append(self._check)
+            if self.triggered:
+                break
+
+    def _collect(self) -> ConditionValue:
+        values = ConditionValue()
+        for ev in self.events:
+            # Only *processed* events count: a Timeout carries its value from
+            # creation (triggered == True), but it has not "happened" until
+            # the environment delivers it.
+            if ev.processed and ev._ok:
+                values[ev] = ev._value
+        return values
+
+    def _check(self, event: Event) -> None:
+        self._pending.discard(event)
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        if self._satisfied(event):
+            self.succeed(self._collect())
+
+    def _satisfied(self, event: Event) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when *all* component events have been processed successfully."""
+
+    def _satisfied(self, event: Event) -> bool:
+        return all(ev.processed and ev._ok for ev in self.events)
+
+
+class AnyOf(_Condition):
+    """Triggers when *any* component event has succeeded."""
+
+    def _satisfied(self, event: Event) -> bool:
+        return True

@@ -1,0 +1,187 @@
+"""Online statistics for simulations: tallies, time-weighted values, series.
+
+Simulation metrics come in two flavours and conflating them is a classic
+bug this module's types make structurally impossible:
+
+* *per-event* statistics (response times, hit indicators) — use
+  :class:`Tally`, which implements Welford's numerically stable streaming
+  mean/variance;
+* *state* statistics (queue length, cache occupancy) — use
+  :class:`TimeWeightedValue`, which integrates the value over time.
+
+:class:`TimeSeries` records (time, value) pairs for post-hoc analysis and
+plotting of warmup transients.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+
+__all__ = ["Tally", "TimeWeightedValue", "TimeSeries"]
+
+
+class Tally:
+    """Streaming count/mean/variance over observations (Welford).
+
+    >>> t = Tally()
+    >>> for v in [1.0, 2.0, 3.0]:
+    ...     t.record(v)
+    >>> t.mean
+    2.0
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise SimulationError(f"tally {self.name!r} received NaN")
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        self._total += value
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._n else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); NaN with fewer than two observations."""
+        return self._m2 / (self._n - 1) if self._n > 1 else float("nan")
+
+    @property
+    def std(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if not math.isnan(v) else float("nan")
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._n else float("nan")
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._n else float("nan")
+
+    def merge(self, other: "Tally") -> "Tally":
+        """Combine two tallies (Chan et al. parallel variance merge)."""
+        out = Tally(self.name or other.name)
+        if self._n == 0:
+            src = other
+        elif other._n == 0:
+            src = self
+        else:
+            out._n = self._n + other._n
+            delta = other._mean - self._mean
+            out._mean = self._mean + delta * other._n / out._n
+            out._m2 = self._m2 + other._m2 + delta * delta * self._n * other._n / out._n
+            out._min = min(self._min, other._min)
+            out._max = max(self._max, other._max)
+            out._total = self._total + other._total
+            return out
+        out._n, out._mean, out._m2 = src._n, src._mean, src._m2
+        out._min, out._max, out._total = src._min, src._max, src._total
+        return out
+
+
+class TimeWeightedValue:
+    """A piecewise-constant state variable integrated over simulation time.
+
+    ``time_average()`` returns ``∫ value dt / elapsed`` — e.g. the mean
+    number of jobs in the PS server, comparable to ``ρ/(1−ρ)``.
+    """
+
+    def __init__(self, env: "Environment", initial: float = 0.0) -> None:
+        self.env = env
+        self._value = float(initial)
+        self._last_change = env.now
+        self._start = env.now
+        self._integral = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self.env.now
+        self._integral += self._value * (now - self._last_change)
+        self._value = float(value)
+        self._last_change = now
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def time_average(self) -> float:
+        now = self.env.now
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._value
+        return (self._integral + self._value * (now - self._last_change)) / elapsed
+
+    def reset(self) -> None:
+        """Restart integration from the current time (e.g. after warmup)."""
+        self._start = self.env.now
+        self._last_change = self.env.now
+        self._integral = 0.0
+
+
+class TimeSeries:
+    """Append-only record of (time, value) samples."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise SimulationError(
+                f"time series {self.name!r} got out-of-order sample at {time}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def after(self, time: float) -> "TimeSeries":
+        """Samples at or after ``time`` (drop warmup transient)."""
+        out = TimeSeries(self.name)
+        for t, v in zip(self._times, self._values):
+            if t >= time:
+                out.record(t, v)
+        return out

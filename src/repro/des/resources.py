@@ -1,0 +1,254 @@
+"""Shared-resource primitives: counted resources, stores and containers.
+
+These follow SimPy's resource semantics closely enough that code written
+against SimPy ports directly:
+
+* :class:`Resource` — ``capacity`` slots, FIFO queue of requests; request
+  events are usable as context managers inside processes.
+* :class:`PriorityResource` — requests carry a priority (lower = sooner).
+* :class:`Store` — FIFO buffer of Python objects with optional capacity.
+* :class:`Container` — continuous quantity with bounded level.
+
+The network substrate uses :class:`Resource` for connection limits and the
+processor-sharing server (its own module) for the bottleneck link.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+from repro.des.environment import Environment
+from repro.des.events import Event
+from repro.errors import SimulationError
+
+__all__ = ["Resource", "PriorityResource", "Store", "Container"]
+
+
+class _BaseRequest(Event):
+    """An event that succeeds when the resource grants the request."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    # Context-manager protocol so processes can write
+    # ``with res.request() as req: yield req``.
+    def __enter__(self) -> "_BaseRequest":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self.capacity = int(capacity)
+        self.users: list[_BaseRequest] = []
+        self.queue: deque[_BaseRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> _BaseRequest:
+        req = _BaseRequest(self)
+        if self.count < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request: _BaseRequest) -> None:
+        """Return a slot; grants the longest-waiting queued request.
+
+        Releasing a request that was never granted simply cancels it
+        (removes it from the queue) — convenient for ``with`` blocks left
+        via an exception before the grant.
+        """
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass  # already cancelled/granted+released
+
+    def _grant_next(self) -> None:
+        while self.queue and self.count < self.capacity:
+            nxt = self.queue.popleft()
+            if nxt.triggered:  # cancelled while queued
+                continue
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class _PriorityRequest(_BaseRequest):
+    def __init__(self, resource: "PriorityResource", priority: float) -> None:
+        super().__init__(resource)
+        self.priority = priority
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by request priority.
+
+    Lower numbers are served first; ties break FIFO.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: list[tuple[float, int, _PriorityRequest]] = []
+        self._seq = 0
+
+    def request(self, priority: float = 0.0) -> _PriorityRequest:  # type: ignore[override]
+        req = _PriorityRequest(self, priority)
+        if self.count < self.capacity and not self._heap:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self._seq += 1
+            heapq.heappush(self._heap, (priority, self._seq, req))
+        return req
+
+    def release(self, request: _BaseRequest) -> None:  # type: ignore[override]
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            # Lazy deletion: mark and skip when popped.
+            for i, (_, _, queued) in enumerate(self._heap):
+                if queued is request:
+                    self._heap[i] = (self._heap[i][0], self._heap[i][1], None)  # type: ignore[assignment]
+                    break
+
+    def _grant_next(self) -> None:
+        while self._heap and self.count < self.capacity:
+            _, _, nxt = heapq.heappop(self._heap)
+            if nxt is None or nxt.triggered:
+                continue
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """FIFO buffer of arbitrary items with optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be > 0, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Event that succeeds once ``item`` is accepted into the store."""
+        ev = Event(self.env)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Event that succeeds with the oldest available item."""
+        ev = Event(self.env)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._serve_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _serve_getters(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(self.items.popleft())
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter, item = self._putters.popleft()
+            if putter.triggered:
+                continue
+            self.items.append(item)
+            putter.succeed()
+            self._serve_getters()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Container:
+    """A continuous stock (e.g. bytes of buffer) with bounded level."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"container capacity must be > 0, got {capacity!r}")
+        if not 0 <= init <= capacity:
+            raise SimulationError("initial level must lie in [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise SimulationError(f"put amount must be > 0, got {amount!r}")
+        ev = Event(self.env)
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise SimulationError(f"get amount must be > 0, got {amount!r}")
+        ev = Event(self.env)
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    if not ev.triggered:
+                        self._level += amount
+                        ev.succeed()
+                    progressed = True
+                    continue
+            if self._getters:
+                ev, amount = self._getters[0]
+                if amount <= self._level:
+                    self._getters.popleft()
+                    if not ev.triggered:
+                        self._level -= amount
+                        ev.succeed()
+                    progressed = True

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An analytical/system parameter is out of its valid domain.
+
+    Raised e.g. for negative bandwidth, hit ratios outside ``[0, 1]`` or a
+    non-positive request rate.
+    """
+
+
+class StabilityError(ReproError, ArithmeticError):
+    """A queueing formula was evaluated outside its stability region.
+
+    The M/G/1-PS response-time formula ``r = x / (1 - rho)`` is meaningful
+    only for utilisation ``rho < 1``; the paper's equations (10), (11), (18),
+    (19) and (27) additionally require the *post-prefetch* utilisation to be
+    below one (conditions (12.3) / (20.3)).  This error is raised when a
+    caller requests strict evaluation (``on_unstable="raise"``) of an
+    operating point that violates those conditions.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an invalid internal state."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or simulation configuration is inconsistent."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A workload trace file is malformed or has an unsupported schema."""

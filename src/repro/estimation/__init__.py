@@ -1,0 +1,13 @@
+"""Online estimators: ĥ′ (paper §4), rates, sizes, dynamic thresholds."""
+
+from repro.estimation.ewma import EWMA
+from repro.estimation.hit_ratio import HPrimeEstimator, WindowedHPrimeEstimator
+from repro.estimation.utilization import RateEstimator, ThresholdEstimator
+
+__all__ = [
+    "EWMA",
+    "HPrimeEstimator",
+    "RateEstimator",
+    "ThresholdEstimator",
+    "WindowedHPrimeEstimator",
+]

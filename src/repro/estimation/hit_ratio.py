@@ -1,0 +1,140 @@
+"""Online estimation of the counterfactual no-prefetch hit ratio h′ (paper §4).
+
+The threshold rule needs ``h′`` — the hit ratio the cache *would* have with
+no prefetching — but measuring it directly would require switching
+prefetching off.  The paper's algorithm estimates it live using a
+tagged/untagged status on cache entries:
+
+* prefetched item inserted            → **untagged**
+* tagged entry accessed               → ``naccess += 1; nhit += 1``
+* untagged entry accessed             → ``naccess += 1``; tag the entry
+* remote (missed) item accessed       → ``naccess += 1``; admit as tagged
+
+Intuition: a hit on an *untagged* entry is a hit that only prefetching made
+possible, so it must not count toward ``h′``; once the entry has been used
+it would also live in a no-prefetch cache, hence the promotion to tagged.
+
+Estimates:
+
+* model A: ``ĥ′ = nhit / naccess``
+* model B: ``ĥ′ = (nhit / naccess) · n̄(C)/(n̄(C) − n̄(F))`` — under model B,
+  prefetched entries displaced ``n̄(F)`` average-value entries, deflating
+  the tagged hit count by ``(n̄(C) − n̄(F))/n̄(C)``.
+
+:class:`HPrimeEstimator` implements the counters; the cache layer invokes
+it through :meth:`observe_access` (or consume a cache's stats directly via
+:meth:`from_cache_stats`).  :class:`WindowedHPrimeEstimator` adds a sliding
+window for non-stationary workloads (an extension the paper's future work
+gestures at — QoS tracking needs recency).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Literal
+
+from repro.errors import ParameterError
+
+__all__ = ["HPrimeEstimator", "WindowedHPrimeEstimator"]
+
+AccessKind = Literal["tagged_hit", "untagged_hit", "miss"]
+
+_KINDS = ("tagged_hit", "untagged_hit", "miss")
+
+
+class HPrimeEstimator:
+    """Counter-based ĥ′ estimator (the paper's §4 algorithm).
+
+    Examples
+    --------
+    >>> est = HPrimeEstimator()
+    >>> for kind in ["miss", "tagged_hit", "tagged_hit", "untagged_hit"]:
+    ...     est.observe_access(kind)
+    >>> est.estimate()          # 2 tagged hits / 4 accesses
+    0.5
+    """
+
+    def __init__(self) -> None:
+        self.naccess = 0
+        self.nhit = 0
+
+    # ------------------------------------------------------------------
+    def observe_access(self, kind: AccessKind) -> None:
+        """Record one user request's cache outcome."""
+        if kind not in _KINDS:
+            raise ParameterError(f"unknown access kind {kind!r}; expected {_KINDS}")
+        self.naccess += 1
+        if kind == "tagged_hit":
+            self.nhit += 1
+
+    @classmethod
+    def from_cache_stats(cls, stats) -> "HPrimeEstimator":
+        """Build an estimator snapshot from :class:`repro.cache.base.CacheStats`.
+
+        The cache already maintains the §4 tag discipline, so its counters
+        map directly: ``naccess = hits + misses``, ``nhit = tagged_hits``.
+        """
+        est = cls()
+        est.naccess = stats.hits + stats.misses
+        est.nhit = stats.tagged_hits
+        return est
+
+    # ------------------------------------------------------------------
+    def estimate(self) -> float:
+        """Model-A estimate ``ĥ′ = nhit/naccess`` (NaN before any access)."""
+        if self.naccess == 0:
+            return float("nan")
+        return self.nhit / self.naccess
+
+    def estimate_model_b(self, cache_size: float, prefetch_count: float) -> float:
+        """Model-B corrected estimate ``ĥ′ · n̄(C)/(n̄(C) − n̄(F))``.
+
+        ``prefetch_count`` is the average number of prefetched (untagged)
+        entries resident per request, ``n̄(F)``; must be < ``cache_size``.
+        """
+        if cache_size <= 0:
+            raise ParameterError(f"cache_size must be > 0, got {cache_size!r}")
+        if not 0 <= prefetch_count < cache_size:
+            raise ParameterError(
+                f"prefetch_count must lie in [0, cache_size), got {prefetch_count!r}"
+            )
+        return self.estimate() * cache_size / (cache_size - prefetch_count)
+
+    def reset(self) -> None:
+        self.naccess = 0
+        self.nhit = 0
+
+
+class WindowedHPrimeEstimator(HPrimeEstimator):
+    """ĥ′ over the most recent ``window`` accesses only.
+
+    Extension beyond the paper: the plain estimator averages over all
+    history, which is right for stationary workloads but lags when
+    popularity drifts.  A sliding window tracks the current regime at the
+    cost of higher variance.
+    """
+
+    def __init__(self, window: int = 1000) -> None:
+        super().__init__()
+        if window < 1:
+            raise ParameterError(f"window must be >= 1, got {window!r}")
+        self.window = int(window)
+        self._events: deque[bool] = deque(maxlen=window)  # True = tagged hit
+
+    def observe_access(self, kind: AccessKind) -> None:
+        if kind not in _KINDS:
+            raise ParameterError(f"unknown access kind {kind!r}; expected {_KINDS}")
+        hit = kind == "tagged_hit"
+        if len(self._events) == self.window:
+            oldest = self._events[0]
+            self.naccess -= 1
+            if oldest:
+                self.nhit -= 1
+        self._events.append(hit)
+        self.naccess += 1
+        if hit:
+            self.nhit += 1
+
+    def reset(self) -> None:
+        super().reset()
+        self._events.clear()

@@ -1,0 +1,98 @@
+"""Experiment framework: uniform run/report interface + registry.
+
+Every paper figure and every ablation is an :class:`Experiment` exposing
+
+* ``run(fast=...)`` → an :class:`ExperimentResult` with the raw sweeps/rows,
+* a registry entry so the CLI (``python -m repro <id>``) and the benchmark
+  suite can enumerate them.
+
+``fast=True`` shrinks simulation durations/replications so the benchmark
+suite stays minutes-fast; closed-form experiments ignore it (they are exact
+either way).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.series import SweepResult
+from repro.errors import ConfigurationError
+
+__all__ = ["Experiment", "ExperimentResult", "register", "get_experiment", "all_experiments"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    ``sweeps`` hold figure panels; ``tables`` hold (headers, rows) pairs for
+    tabular results; ``notes`` carries observations for EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    title: str
+    sweeps: list[SweepResult] = field(default_factory=list)
+    tables: list[tuple[str, Sequence[str], list[Sequence[object]]]] = field(
+        default_factory=list
+    )
+    notes: list[str] = field(default_factory=list)
+
+    def render(self, *, plots: bool = True, max_rows: int | None = 12) -> str:
+        """Human-readable report (what the bench prints)."""
+        from repro.analysis.ascii_plot import render_sweep
+        from repro.analysis.tables import format_sweep, format_table
+
+        chunks = [f"=== {self.experiment_id}: {self.title} ==="]
+        for sweep in self.sweeps:
+            chunks.append(format_sweep(sweep, max_rows=max_rows))
+            if plots:
+                chunks.append(render_sweep(sweep))
+        for name, headers, rows in self.tables:
+            chunks.append(f"--- {name} ---")
+            chunks.append(format_table(headers, rows, precision=5))
+        for note in self.notes:
+            chunks.append(f"note: {note}")
+        return "\n\n".join(chunks)
+
+
+class Experiment(ABC):
+    """One reproducible artefact (figure, table or claim check)."""
+
+    #: registry key, e.g. "fig1"
+    experiment_id: str = ""
+    #: paper artefact it reproduces, e.g. "Figure 1"
+    paper_artifact: str = ""
+    #: one-line description
+    description: str = ""
+
+    @abstractmethod
+    def run(self, *, fast: bool = False) -> ExperimentResult:
+        """Execute and return results.  ``fast`` trims stochastic workloads."""
+
+
+_REGISTRY: dict[str, Callable[[], Experiment]] = {}
+
+
+def register(factory: Callable[[], Experiment]) -> Callable[[], Experiment]:
+    """Class decorator registering an experiment by its ``experiment_id``."""
+    instance = factory()  # validate eagerly: id must be set
+    if not instance.experiment_id:
+        raise ConfigurationError(f"{factory!r} lacks an experiment_id")
+    if instance.experiment_id in _REGISTRY:
+        raise ConfigurationError(f"duplicate experiment id {instance.experiment_id!r}")
+    _REGISTRY[instance.experiment_id] = factory
+    return factory
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    if experiment_id not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[experiment_id]()
+
+
+def all_experiments() -> Mapping[str, Callable[[], Experiment]]:
+    return dict(_REGISTRY)

@@ -1,0 +1,99 @@
+"""§6 — the two interaction models compared (and our model AB between them).
+
+The paper's three bullets, made quantitative:
+
+1. both models impose no cap on n̄(F) beyond the threshold condition
+   (covered by the `threshold-claims` audit);
+2. the threshold gap ``p_th(B) − p_th(A) = h′/n̄(C) ≤ 1/n̄(C)``;
+3. ``h`` (hence ρ, r̄, t̄, G, C) of the two models converge as
+   ``n̄(C) ≫ n̄(F)``.
+
+Plus the AB interpolation: for every α ∈ [0, 1], model AB's threshold and
+G lie between A's and B's (bracketing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model_a import ModelA
+from repro.core.model_ab import ModelAB
+from repro.core.model_b import ModelB
+from repro.core.parameters import SystemParameters
+from repro.experiments.base import Experiment, ExperimentResult, register
+
+__all__ = ["ModelCompareExperiment"]
+
+
+@register
+class ModelCompareExperiment(Experiment):
+    experiment_id = "model-compare"
+    paper_artifact = "Section 6 (the two models compared)"
+    description = "Threshold gap, A->B convergence, and AB bracketing"
+
+    def run(self, *, fast: bool = False) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id=self.experiment_id,
+            title="Models A vs B vs AB",
+        )
+        # --- threshold gap table over n(C) -----------------------------
+        h_prime = 0.3
+        rows = []
+        for n_c in (5.0, 10.0, 20.0, 50.0, 100.0, 1000.0):
+            params = SystemParameters.paper_defaults(hit_ratio=h_prime, cache_size=n_c)
+            a = ModelA(params)
+            b = ModelB(params)
+            gap = b.threshold() - a.threshold()
+            rows.append([n_c, a.threshold(), b.threshold(), gap, 1.0 / n_c])
+        result.tables.append(
+            (
+                "threshold gap p_th(B) - p_th(A) = h'/n(C) (bound 1/n(C))",
+                ["n(C)", "p_th(A)", "p_th(B)", "gap", "1/n(C)"],
+                rows,
+            )
+        )
+
+        # --- convergence of G as n(C) grows ----------------------------
+        n_f, p = 0.5, 0.8
+        conv_rows = []
+        for n_c in (5.0, 10.0, 20.0, 50.0, 100.0, 1000.0):
+            params = SystemParameters.paper_defaults(hit_ratio=h_prime, cache_size=n_c)
+            g_a = float(np.asarray(ModelA(params).improvement_closed_form(n_f, p)))
+            g_b = float(np.asarray(ModelB(params).improvement_closed_form(n_f, p)))
+            conv_rows.append([n_c, g_a, g_b, abs(g_a - g_b)])
+        result.tables.append(
+            (
+                f"G convergence at n(F)={n_f}, p={p} (|G_A - G_B| -> 0)",
+                ["n(C)", "G_A", "G_B", "|diff|"],
+                conv_rows,
+            )
+        )
+        diffs = [row[3] for row in conv_rows]
+        monotone = all(d1 >= d2 - 1e-15 for d1, d2 in zip(diffs, diffs[1:]))
+        result.notes.append(
+            f"A-vs-B G gap shrinks monotonically with n(C): {monotone}"
+        )
+
+        # --- AB bracketing ---------------------------------------------
+        params = SystemParameters.paper_defaults(hit_ratio=h_prime, cache_size=10.0)
+        alphas = np.linspace(0.0, 1.0, 11)
+        ab_rows = []
+        bracketing_holds = True
+        g_a = float(np.asarray(ModelA(params).improvement_closed_form(n_f, p)))
+        g_b = float(np.asarray(ModelB(params).improvement_closed_form(n_f, p)))
+        for alpha in alphas:
+            ab = ModelAB(params, eviction_value=float(alpha))
+            g_ab = float(np.asarray(ab.improvement_closed_form(n_f, p)))
+            lo, hi = min(g_a, g_b), max(g_a, g_b)
+            inside = lo - 1e-12 <= g_ab <= hi + 1e-12
+            bracketing_holds &= inside
+            ab_rows.append([float(alpha), ab.threshold(), g_ab, inside])
+        result.tables.append(
+            (
+                "model AB interpolation (alpha=0 -> A, alpha=1 -> B)",
+                ["alpha", "p_th(AB)", "G_AB", "within [G_A, G_B]"],
+                ab_rows,
+            )
+        )
+        result.notes.append(f"AB bracketing holds for all alpha: {bracketing_holds}")
+        return result

@@ -1,0 +1,127 @@
+"""`sim-vs-analytic` — the DES reproduces the closed forms.
+
+Runs the analytic mirror at a spread of operating points (including the
+no-prefetch baseline) and reports measured vs predicted t̄, ρ, R with
+relative errors.  Also quantifies the *batch-arrival caveat*: the paper's
+analysis assumes the effective job stream is Poisson; when prefetches are
+issued at the instant of their triggering request (as a real system would),
+sojourn times exceed eq. (2) by a measurable margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.parameters import SystemParameters
+from repro.experiments.base import Experiment, ExperimentResult, register
+from repro.sim.mirror import MirrorConfig, run_mirror
+from repro.sim.runner import run_mirror_replications
+from repro.sim.validate import mirror_vs_theory
+
+__all__ = ["SimVsAnalyticExperiment"]
+
+
+@register
+class SimVsAnalyticExperiment(Experiment):
+    experiment_id = "sim-vs-analytic"
+    paper_artifact = "Equations (4)-(5), (8)-(10), (25)-(27)"
+    description = "DES validation of the closed forms + batch-arrival caveat"
+
+    def _operating_points(self) -> list[MirrorConfig]:
+        pts = []
+        for h_prime, n_f, p in [
+            (0.0, 0.0, 0.0),   # baseline, rho' = 0.6
+            (0.3, 0.0, 0.0),   # baseline, rho' = 0.42
+            (0.3, 0.5, 0.8),   # profitable prefetching
+            (0.3, 0.3, 0.5),   # marginal prefetching
+            (0.0, 0.4, 0.9),   # aggressive but profitable
+        ]:
+            params = SystemParameters.paper_defaults(hit_ratio=h_prime)
+            pts.append(MirrorConfig(params=params, n_f=n_f, p=p, seed=11))
+        return pts
+
+    def run(self, *, fast: bool = False) -> ExperimentResult:
+        duration = 600.0 if fast else 3000.0
+        warmup = 60.0 if fast else 300.0
+        reps = 3 if fast else 5
+        result = ExperimentResult(
+            experiment_id=self.experiment_id,
+            title="Mirror simulation vs closed forms",
+        )
+        rows = []
+        worst = 0.0
+        for cfg in self._operating_points():
+            cfg = replace(cfg, duration=duration, warmup=warmup)
+            rr = run_mirror_replications(cfg, replications=reps)
+            # Build a synthetic metrics view from replication means for the
+            # comparison record.
+            sample = run_mirror(replace(cfg, seed=cfg.seed + 999))
+            comparison = mirror_vs_theory(cfg, sample)
+            measured_t = rr.mean("mean_access_time")
+            measured_rho = rr.mean("utilization")
+            measured_R = rr.mean("retrieval_time_per_request")
+            pred_t = comparison.predicted_access_time
+            pred_rho = comparison.predicted_utilization
+            pred_R = comparison.predicted_retrieval_per_request
+            err = max(
+                abs(measured_t - pred_t) / max(pred_t, 1e-12),
+                abs(measured_rho - pred_rho) / max(pred_rho, 1e-12),
+                abs(measured_R - pred_R) / max(pred_R, 1e-12),
+            ) if pred_t > 0 else 0.0
+            worst = max(worst, err)
+            rows.append(
+                [
+                    f"h'={cfg.params.hit_ratio:g}",
+                    cfg.n_f,
+                    cfg.p,
+                    pred_t,
+                    measured_t,
+                    pred_rho,
+                    measured_rho,
+                    pred_R,
+                    measured_R,
+                    err,
+                ]
+            )
+        result.tables.append(
+            (
+                "mirror (independent prefetch stream) vs theory",
+                ["point", "n(F)", "p", "t theory", "t sim", "rho theory",
+                 "rho sim", "R theory", "R sim", "max rel err"],
+                rows,
+            )
+        )
+        result.notes.append(f"worst relative error across points: {worst:.3%}")
+
+        # --- batch-arrival caveat --------------------------------------
+        params = SystemParameters.paper_defaults(hit_ratio=0.3)
+        base = MirrorConfig(
+            params=params, n_f=0.5, p=0.8,
+            duration=duration, warmup=warmup, seed=3,
+        )
+        caveat_rows = []
+        theory_t = None
+        for timing in ("independent", "jittered", "batched"):
+            cfg = replace(base, prefetch_timing=timing)
+            rr = run_mirror_replications(cfg, replications=reps)
+            t = rr.mean("mean_access_time")
+            if theory_t is None:
+                comparison = mirror_vs_theory(cfg, run_mirror(cfg))
+                theory_t = comparison.predicted_access_time
+            caveat_rows.append([timing, t, t / theory_t - 1.0])
+        result.tables.append(
+            (
+                "batch-arrival caveat: t_bar vs prefetch timing "
+                f"(theory {theory_t:.6f})",
+                ["prefetch timing", "t sim", "inflation vs eq.(2)"],
+                caveat_rows,
+            )
+        )
+        result.notes.append(
+            "the paper's M/G/1 treatment assumes independent Poisson job "
+            "arrivals; physically-batched prefetches inflate access times by "
+            "the factor shown (our measured caveat)"
+        )
+        return result

@@ -1,0 +1,13 @@
+"""Network substrate: shared PS link, origin server, fetch messages."""
+
+from repro.network.link import SharedLink
+from repro.network.messages import FetchKind, FetchRequest, FetchResult
+from repro.network.server import OriginServer
+
+__all__ = [
+    "FetchKind",
+    "FetchRequest",
+    "FetchResult",
+    "OriginServer",
+    "SharedLink",
+]

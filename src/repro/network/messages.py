@@ -1,0 +1,49 @@
+"""Request/response records flowing through the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Hashable
+
+__all__ = ["FetchKind", "FetchRequest", "FetchResult"]
+
+_request_ids = itertools.count(1)
+
+
+class FetchKind(str, Enum):
+    """Why a fetch was issued — demand vs speculation.
+
+    The distinction drives both statistics (excess retrieval cost counts
+    only the *extra* traffic) and the §4 tag discipline (prefetched items
+    enter the cache untagged).
+    """
+
+    DEMAND = "demand"
+    PREFETCH = "prefetch"
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """One fetch submitted to the shared link."""
+
+    item: Hashable
+    size: float
+    kind: FetchKind
+    client: int
+    issued_at: float
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Completion record for a fetch."""
+
+    request: FetchRequest
+    completed_at: float
+
+    @property
+    def retrieval_time(self) -> float:
+        """Request-to-download-completion time (the paper's r)."""
+        return self.completed_at - self.request.issued_at

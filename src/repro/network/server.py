@@ -1,0 +1,96 @@
+"""Origin server: the authoritative source of items and their sizes.
+
+The paper abstracts "the entire network" into one PS service; concretely we
+still need something that knows item sizes (for heterogeneous-size
+experiments) and can count per-item demand.  The origin holds a size map
+(or a size distribution sampled lazily per item, frozen thereafter so an
+item's size is consistent across fetches) and delegates transfer timing to
+the :class:`~repro.network.link.SharedLink`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.des.events import Event
+from repro.errors import ParameterError
+from repro.network.link import SharedLink
+from repro.network.messages import FetchKind
+from repro.workload.sizes import FixedSize, SizeDistribution
+
+__all__ = ["OriginServer"]
+
+
+class OriginServer:
+    """Item catalogue + transfer source behind the shared link.
+
+    Parameters
+    ----------
+    link:
+        The bottleneck to stream through.
+    sizes:
+        Either a mapping ``item -> size`` or a
+        :class:`~repro.workload.sizes.SizeDistribution` sampled once per
+        distinct item (stable sizes — a second fetch of the same item has
+        the same size).
+    rng:
+        Required when ``sizes`` is a distribution.
+    """
+
+    def __init__(
+        self,
+        link: SharedLink,
+        sizes: Mapping[Hashable, float] | SizeDistribution | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.link = link
+        if sizes is None:
+            sizes = FixedSize(1.0)
+        self._size_map: dict[Hashable, float]
+        self._size_dist: SizeDistribution | None
+        if isinstance(sizes, SizeDistribution):
+            self._size_map = {}
+            self._size_dist = sizes
+            if rng is None:
+                raise ParameterError("a SizeDistribution origin needs an rng")
+            self._rng = rng
+        else:
+            self._size_map = dict(sizes)
+            for item, size in self._size_map.items():
+                if size <= 0:
+                    raise ParameterError(f"item {item!r} has non-positive size {size!r}")
+            self._size_dist = None
+            self._rng = rng  # unused
+        self.demand_count: Counter = Counter()
+        self.prefetch_count: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def size_of(self, item: Hashable) -> float:
+        """The (stable) size of ``item``."""
+        if item in self._size_map:
+            return self._size_map[item]
+        if self._size_dist is None:
+            raise ParameterError(f"unknown item {item!r} and no size distribution")
+        size = float(self._size_dist.sample(self._rng))
+        self._size_map[item] = size
+        return size
+
+    @property
+    def mean_known_size(self) -> float:
+        """Mean size over items seen so far (diagnostics)."""
+        if not self._size_map:
+            return float("nan")
+        return float(np.mean(list(self._size_map.values())))
+
+    def fetch(self, item: Hashable, *, kind: FetchKind | str, client: int) -> Event:
+        """Stream ``item`` to ``client`` through the link."""
+        kind = FetchKind(kind)
+        counter = self.demand_count if kind is FetchKind.DEMAND else self.prefetch_count
+        counter[item] += 1
+        return self.link.fetch(
+            item=item, size=self.size_of(item), kind=kind, client=client
+        )

@@ -1,0 +1,18 @@
+"""Access models assigning next-request probabilities (paper §1.1 survey)."""
+
+from repro.predictors.base import Predictor
+from repro.predictors.dependency_graph import DependencyGraphPredictor
+from repro.predictors.frequency import FrequencyPredictor
+from repro.predictors.markov import MarkovPredictor
+from repro.predictors.oracle import DistributionOracle, OraclePredictor
+from repro.predictors.ppm import PPMPredictor
+
+__all__ = [
+    "DependencyGraphPredictor",
+    "DistributionOracle",
+    "FrequencyPredictor",
+    "MarkovPredictor",
+    "OraclePredictor",
+    "PPMPredictor",
+    "Predictor",
+]

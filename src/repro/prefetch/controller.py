@@ -1,0 +1,189 @@
+"""Prefetch controller: wires predictor + policy + cache + estimators.
+
+One controller serves one client cache.  It owns the *logic* of the
+prefetch pipeline but none of the *mechanics* of fetching — the simulation
+(or a real client) asks :meth:`plan` what to fetch and reports outcomes
+back through :meth:`on_user_access` / :meth:`on_fetch_complete`.  This
+separation keeps the controller synchronously testable and reusable for
+offline trace analysis.
+
+Responsibilities:
+
+* classify each user access per the §4 algorithm (tagged hit / untagged
+  hit / miss) and feed the estimator,
+* keep the predictor's model updated with the access stream,
+* deduplicate against cache contents and in-flight fetches,
+* account per-request prefetch counts (n̄(F)) and hit provenance
+  (how many hits only happened because of prefetching).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.cache.base import Cache
+from repro.errors import SimulationError
+from repro.estimation.utilization import ThresholdEstimator
+from repro.predictors.base import Predictor
+from repro.prefetch.policy import Candidate, PolicyContext, PrefetchPolicy
+
+__all__ = ["PrefetchController", "AccessOutcome"]
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """What happened to one user request at the cache."""
+
+    item: Hashable
+    hit: bool
+    #: §4 classification: "tagged_hit" | "untagged_hit" | "miss"
+    kind: str
+    #: True when the hit was only possible because of a prefetch
+    #: (i.e. the entry was untagged = never demand-used before).
+    prefetch_saved: bool
+
+
+@dataclass
+class ControllerStats:
+    requests: int = 0
+    prefetches_issued: int = 0
+    prefetches_completed: int = 0
+    prefetch_hits: int = 0  # user accesses served by a prefetched, unused entry
+
+    @property
+    def mean_prefetch_count(self) -> float:
+        """Observed n̄(F) — prefetches issued per user request."""
+        return self.prefetches_issued / self.requests if self.requests else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of completed prefetches that served a later request."""
+        if self.prefetches_completed == 0:
+            return float("nan")
+        return self.prefetch_hits / self.prefetches_completed
+
+
+class PrefetchController:
+    """Per-client prefetch decision engine.
+
+    Parameters
+    ----------
+    predictor:
+        Access model producing next-request candidates.
+    policy:
+        Selection strategy (threshold rule, heuristic, ...).
+    cache:
+        The client cache (must be the same object the client uses for
+        lookups, since tag state lives in its entries).
+    estimator:
+        Optional live threshold estimator; fed automatically.
+    bandwidth:
+        Link capacity, passed through to the policy context.
+    """
+
+    def __init__(
+        self,
+        *,
+        predictor: Predictor,
+        policy: PrefetchPolicy,
+        cache: Cache,
+        bandwidth: float,
+        estimator: Optional[ThresholdEstimator] = None,
+    ) -> None:
+        self.predictor = predictor
+        self.policy = policy
+        self.cache = cache
+        self.bandwidth = float(bandwidth)
+        self.estimator = estimator
+        self.stats = ControllerStats()
+        self._in_flight: set[Hashable] = set()
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def on_user_access(self, item: Hashable, *, now: float, size: float) -> AccessOutcome:
+        """Process one user request against the cache (no fetching here).
+
+        Returns the outcome; on a miss the caller fetches the item and then
+        calls :meth:`on_fetch_complete` with ``demand=True``.
+        """
+        self.stats.requests += 1
+        entry = self.cache.entry(item)
+        was_untagged = entry is not None and not entry.tagged
+        hit_entry = self.cache.lookup(item, now=now)
+        hit = hit_entry is not None
+        if hit:
+            kind = "untagged_hit" if was_untagged else "tagged_hit"
+        else:
+            kind = "miss"
+        if was_untagged and hit:
+            self.stats.prefetch_hits += 1
+        if self.estimator is not None:
+            self.estimator.observe_request(now, kind)
+            if hit:
+                self.estimator.observe_item_size(size)
+        self.predictor.record(item)
+        return AccessOutcome(
+            item=item, hit=hit, kind=kind, prefetch_saved=was_untagged and hit
+        )
+
+    def on_fetch_complete(
+        self,
+        item: Hashable,
+        *,
+        now: float,
+        size: float,
+        prefetched: bool,
+    ) -> None:
+        """A fetch finished; admit the item with the right tag status (§4)."""
+        self._in_flight.discard(item)
+        self.cache.insert(item, now=now, size=size, prefetched=prefetched)
+        if prefetched:
+            self.stats.prefetches_completed += 1
+        if self.estimator is not None and not prefetched:
+            self.estimator.observe_item_size(size)
+
+    def on_fetch_failed(self, item: Hashable) -> None:
+        """A fetch was cancelled/aborted; release the in-flight slot."""
+        self._in_flight.discard(item)
+
+    # ------------------------------------------------------------------
+    # Prefetch planning
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        *,
+        now: float,
+        estimated_utilization: float = float("nan"),
+    ) -> list[Candidate]:
+        """Decide what to prefetch after the current request.
+
+        Marks returned items in-flight — the caller *must* eventually call
+        :meth:`on_fetch_complete` or :meth:`on_fetch_failed` for each.
+        """
+        candidates = self.predictor.predict()
+        context = PolicyContext(
+            now=now,
+            bandwidth=self.bandwidth,
+            estimated_threshold=(
+                self.estimator.threshold() if self.estimator is not None else math.nan
+            ),
+            estimated_utilization=estimated_utilization,
+            in_cache=self.cache,
+            in_flight=self._in_flight,
+        )
+        chosen = self.policy.select(candidates, context)
+        for item, _p in chosen:
+            if item in self._in_flight:
+                raise SimulationError(
+                    f"policy selected already-in-flight item {item!r}"
+                )
+            self._in_flight.add(item)
+        self.stats.prefetches_issued += len(chosen)
+        return chosen
+
+    @property
+    def in_flight(self) -> frozenset:
+        return frozenset(self._in_flight)

@@ -1,0 +1,94 @@
+"""Prefetch policy interface.
+
+A policy answers one question after every user request: *given candidate
+items with predicted probabilities, which should be prefetched now?*  The
+paper's answer is the threshold rule; the ablation experiment compares it
+with the heuristics the introduction criticises ("prefetch an item if the
+probability of its access is larger than a fixed threshold") and with
+upper/lower bounds.
+
+Policies see a :class:`PolicyContext` — the measurable system state — and
+must not reach into the simulation directly: this keeps them usable both
+inside the DES and in offline trace analysis.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+__all__ = ["PrefetchPolicy", "PolicyContext"]
+
+Candidate = tuple[Hashable, float]
+
+
+@dataclass
+class PolicyContext:
+    """Snapshot of system state available to a prefetch decision.
+
+    Attributes
+    ----------
+    now:
+        Current time.
+    bandwidth:
+        Configured link capacity ``b``.
+    estimated_threshold:
+        Live ``p̂_th`` from :class:`repro.estimation.ThresholdEstimator`
+        (NaN while estimates are warming up).
+    estimated_utilization:
+        Live ``ρ̂`` including prefetch traffic (NaN if unknown).
+    in_cache:
+        Membership test for the client's cache (don't prefetch a hit).
+    in_flight:
+        Membership test for outstanding fetches (don't fetch twice).
+    """
+
+    now: float
+    bandwidth: float
+    estimated_threshold: float = float("nan")
+    estimated_utilization: float = float("nan")
+    in_cache: "CallableMembership" = field(default_factory=lambda: _Never())
+    in_flight: "CallableMembership" = field(default_factory=lambda: _Never())
+
+    def eligible(self, candidates: Sequence[Candidate]) -> list[Candidate]:
+        """Filter out cached and in-flight items (applies to every policy)."""
+        return [
+            (item, p)
+            for item, p in candidates
+            if item not in self.in_cache and item not in self.in_flight
+        ]
+
+
+class _Never:
+    """Default membership: nothing is cached/in-flight."""
+
+    def __contains__(self, item: object) -> bool:
+        return False
+
+
+class CallableMembership:  # pragma: no cover - typing helper
+    def __contains__(self, item: object) -> bool: ...
+
+
+class PrefetchPolicy(ABC):
+    """Strategy deciding the per-request prefetch set."""
+
+    #: machine name used in experiment tables
+    name = "abstract"
+
+    @abstractmethod
+    def select(
+        self,
+        candidates: Sequence[Candidate],
+        context: PolicyContext,
+    ) -> list[Candidate]:
+        """Choose the items to prefetch *now*.
+
+        ``candidates`` is the predictor's ``(item, probability)`` list,
+        descending.  Implementations should start from
+        ``context.eligible(candidates)``.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

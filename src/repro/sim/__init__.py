@@ -1,0 +1,30 @@
+"""Simulation layer: analytic mirror, full system, replication, validation."""
+
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.sim.mirror import MirrorConfig, run_mirror
+from repro.sim.runner import (
+    ReplicatedResult,
+    compare_policies,
+    run_mirror_replications,
+    run_simulation_replications,
+)
+from repro.sim.simulation import Simulation, SimulationOutput, run_simulation
+from repro.sim.validate import TheoryComparison, mirror_vs_theory
+
+__all__ = [
+    "MetricsCollector",
+    "MirrorConfig",
+    "ReplicatedResult",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationMetrics",
+    "SimulationOutput",
+    "TheoryComparison",
+    "compare_policies",
+    "mirror_vs_theory",
+    "run_mirror",
+    "run_mirror_replications",
+    "run_simulation",
+    "run_simulation_replications",
+]

@@ -1,0 +1,96 @@
+"""Configuration for the full (cache + predictor + policy) simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.workload.sessions import WorkloadSpec
+
+__all__ = ["SimulationConfig", "PREDICTOR_NAMES", "POLICY_NAMES"]
+
+PREDICTOR_NAMES = (
+    "markov",
+    "ppm",
+    "dependency-graph",
+    "frequency",
+    "true-distribution",
+)
+
+POLICY_NAMES = (
+    "none",
+    "threshold-static",
+    "threshold-dynamic",
+    "fixed-threshold",
+    "top-k",
+    "all",
+    "adaptive",
+)
+
+
+@dataclass
+class SimulationConfig:
+    """Everything needed to build and run one full-system simulation.
+
+    Attributes
+    ----------
+    workload:
+        Multi-client reference stream parameters.
+    bandwidth:
+        Shared link capacity ``b``.
+    cache_policy, cache_capacity:
+        Per-client cache (capacity = ``n̄(C)`` items).
+    predictor / predictor_params:
+        Access model by name: ``markov`` (order), ``ppm`` (max_order),
+        ``dependency-graph`` (window), ``frequency`` (decay), or
+        ``true-distribution`` (uses the workload's exact Markov-source
+        probabilities — the paper's "known p" setting).
+    policy / policy_params:
+        Prefetch policy by name (see :data:`POLICY_NAMES`); params are
+        forwarded to the policy constructor (e.g. ``{"p0": 0.5}`` for
+        ``fixed-threshold``; ``{"k": 2}`` for ``top-k``).
+    assumed_hit_ratio:
+        ``h′`` used by the *static* threshold policy; ``None`` means use
+        the §4 dynamic estimate instead (forces ``threshold-dynamic``).
+    duration / warmup / seed:
+        Run control.  ``prediction_limit`` caps candidates per request.
+    """
+
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    bandwidth: float = 50.0
+    cache_policy: str = "lru"
+    cache_capacity: int = 50
+    predictor: str = "markov"
+    predictor_params: dict[str, Any] = field(default_factory=dict)
+    policy: str = "threshold-dynamic"
+    policy_params: dict[str, Any] = field(default_factory=dict)
+    assumed_hit_ratio: float | None = None
+    duration: float = 400.0
+    warmup: float = 40.0
+    seed: int = 0
+    prediction_limit: int = 16
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be > 0, got {self.bandwidth!r}")
+        if self.cache_capacity < 1:
+            raise ConfigurationError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity!r}"
+            )
+        if self.predictor not in PREDICTOR_NAMES:
+            raise ConfigurationError(
+                f"unknown predictor {self.predictor!r}; known: {PREDICTOR_NAMES}"
+            )
+        if self.policy not in POLICY_NAMES:
+            raise ConfigurationError(
+                f"unknown policy {self.policy!r}; known: {POLICY_NAMES}"
+            )
+        if self.duration <= self.warmup:
+            raise ConfigurationError("duration must exceed warmup")
+        if self.prediction_limit < 1:
+            raise ConfigurationError("prediction_limit must be >= 1")
+        if self.policy == "threshold-static" and self.assumed_hit_ratio is None:
+            raise ConfigurationError(
+                "threshold-static needs assumed_hit_ratio (or use threshold-dynamic)"
+            )

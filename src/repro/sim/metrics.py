@@ -1,0 +1,154 @@
+"""Metrics collection for simulation runs.
+
+Collects exactly the quantities the paper's symbols name, with warmup
+exclusion:
+
+* ``t̄`` — mean access time over *all* user requests (hits count 0),
+* ``h`` — hit ratio,
+* ``r̄`` — mean retrieval time per *fetched* item,
+* ``ρ`` — server busy fraction,
+* ``R`` — total retrieval time per user request (eq. 25's measured analogue),
+* ``n̄(F)`` — prefetches issued per request.
+
+Warmup handling: the collector ignores everything before ``warmup_time``;
+interval statistics (busy time) are measured from a snapshot taken at the
+warmup boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.des.environment import Environment
+from repro.des.monitors import Tally
+from repro.network.link import SharedLink
+
+__all__ = ["MetricsCollector", "SimulationMetrics"]
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """Steady-state (post-warmup) measurements of one run."""
+
+    duration: float
+    requests: int
+    hits: int
+    mean_access_time: float
+    mean_demand_retrieval_time: float
+    mean_prefetch_retrieval_time: float
+    utilization: float
+    retrieval_time_per_request: float
+    prefetches_issued: int
+    prefetches_per_request: float
+    tagged_hits: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else float("nan")
+
+    @property
+    def fault_ratio(self) -> float:
+        return 1.0 - self.hit_ratio
+
+    @property
+    def h_prime_estimate(self) -> float:
+        """§4 estimate from tagged hits (model A form)."""
+        return self.tagged_hits / self.requests if self.requests else float("nan")
+
+
+class MetricsCollector:
+    """Streaming collector bound to one environment and link.
+
+    Usage: create, call :meth:`start_measuring` at the warmup boundary
+    (typically from a small process), feed per-request observations, then
+    :meth:`finalize`.
+    """
+
+    def __init__(self, env: Environment, link: SharedLink, *, warmup_time: float = 0.0) -> None:
+        self.env = env
+        self.link = link
+        self.warmup_time = float(warmup_time)
+        self.access_time = Tally("access-time")
+        self.demand_retrieval = Tally("demand-retrieval")
+        self.prefetch_retrieval = Tally("prefetch-retrieval")
+        self._requests = 0
+        self._hits = 0
+        self._tagged_hits = 0
+        self._prefetches = 0
+        self._measuring = self.warmup_time <= 0.0
+        self._t_start: Optional[float] = 0.0 if self._measuring else None
+        self._busy_start = 0.0
+        self._retrieval_time_accum = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def measuring(self) -> bool:
+        return self._measuring
+
+    def start_measuring(self) -> None:
+        """Mark the warmup boundary (call at ``env.now == warmup_time``)."""
+        self._measuring = True
+        self._t_start = self.env.now
+        # Snapshot the server's cumulative busy time for interval stats.
+        self.link.server._advance()
+        self._busy_start = self.link.server._busy_time
+
+    def warmup_process(self):
+        """DES process that triggers :meth:`start_measuring` on time."""
+        yield self.env.timeout(self.warmup_time)
+        self.start_measuring()
+
+    # ------------------------------------------------------------------
+    # Observations (called by client processes)
+    # ------------------------------------------------------------------
+    def record_request(self, *, hit: bool, access_time: float, tagged_hit: bool = False) -> None:
+        if not self._measuring:
+            return
+        self._requests += 1
+        if hit:
+            self._hits += 1
+        if tagged_hit:
+            self._tagged_hits += 1
+        self.access_time.record(access_time)
+
+    def record_prefetch_issued(self, count: int = 1) -> None:
+        if not self._measuring:
+            return
+        self._prefetches += count
+
+    def record_retrieval(self, retrieval_time: float, *, prefetch: bool = False) -> None:
+        """A completed fetch's sojourn time (demand or prefetch)."""
+        if not self._measuring:
+            return
+        self._retrieval_time_accum += retrieval_time
+        (self.prefetch_retrieval if prefetch else self.demand_retrieval).record(
+            retrieval_time
+        )
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> SimulationMetrics:
+        if self._t_start is None:
+            raise RuntimeError("finalize() before measurement started")
+        self.link.server._advance()
+        elapsed = self.env.now - self._t_start
+        busy = self.link.server._busy_time - self._busy_start
+        return SimulationMetrics(
+            duration=elapsed,
+            requests=self._requests,
+            hits=self._hits,
+            mean_access_time=self.access_time.mean if self._requests else float("nan"),
+            mean_demand_retrieval_time=self.demand_retrieval.mean,
+            mean_prefetch_retrieval_time=self.prefetch_retrieval.mean,
+            utilization=busy / elapsed if elapsed > 0 else float("nan"),
+            retrieval_time_per_request=(
+                self._retrieval_time_accum / self._requests
+                if self._requests
+                else float("nan")
+            ),
+            prefetches_issued=self._prefetches,
+            prefetches_per_request=(
+                self._prefetches / self._requests if self._requests else float("nan")
+            ),
+            tagged_hits=self._tagged_hits,
+        )

@@ -1,0 +1,129 @@
+"""Replicated runs, confidence intervals and paired policy comparison.
+
+Single runs of a stochastic simulation prove nothing; every experiment
+reports means over independent replications with Student-t confidence
+intervals.  Policy comparisons use *common random numbers* (same seeds →
+same workload realisations) so the difference estimator is paired and
+sharp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.confidence import ConfidenceInterval, mean_confidence_interval
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.mirror import MirrorConfig, run_mirror
+from repro.sim.simulation import SimulationOutput, run_simulation
+
+__all__ = [
+    "ReplicatedResult",
+    "run_mirror_replications",
+    "run_simulation_replications",
+    "compare_policies",
+]
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Aggregate of n independent replications of one configuration."""
+
+    metric_names: tuple[str, ...]
+    samples: dict[str, np.ndarray]
+
+    def ci(self, name: str, level: float = 0.95) -> ConfidenceInterval:
+        return mean_confidence_interval(self.samples[name], level=level)
+
+    def mean(self, name: str) -> float:
+        return float(np.mean(self.samples[name]))
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.samples[name]
+
+
+_MIRROR_FIELDS = (
+    "mean_access_time",
+    "utilization",
+    "retrieval_time_per_request",
+    "mean_demand_retrieval_time",
+)
+
+_SIM_FIELDS = _MIRROR_FIELDS + ("prefetches_per_request",)
+
+
+def _collect(metrics_list: Sequence[SimulationMetrics], fields: tuple[str, ...],
+             extra: dict[str, list[float]] | None = None) -> ReplicatedResult:
+    samples: dict[str, np.ndarray] = {}
+    for f in fields:
+        samples[f] = np.asarray([getattr(m, f) for m in metrics_list], dtype=float)
+    samples["hit_ratio"] = np.asarray([m.hit_ratio for m in metrics_list], dtype=float)
+    if extra:
+        for k, v in extra.items():
+            samples[k] = np.asarray(v, dtype=float)
+    return ReplicatedResult(metric_names=tuple(samples), samples=samples)
+
+
+def run_mirror_replications(
+    config: MirrorConfig,
+    *,
+    replications: int = 5,
+    base_seed: int | None = None,
+) -> ReplicatedResult:
+    """n independent mirror runs differing only in seed."""
+    seed0 = config.seed if base_seed is None else base_seed
+    runs = [
+        run_mirror(replace(config, seed=seed0 + 1000 * i))
+        for i in range(replications)
+    ]
+    return _collect(runs, _MIRROR_FIELDS)
+
+
+def run_simulation_replications(
+    config: SimulationConfig,
+    *,
+    replications: int = 5,
+    base_seed: int | None = None,
+) -> ReplicatedResult:
+    """n independent full-system runs differing only in seed."""
+    seed0 = config.seed if base_seed is None else base_seed
+    outputs: list[SimulationOutput] = []
+    for i in range(replications):
+        cfg = replace(config, seed=seed0 + 1000 * i)
+        outputs.append(run_simulation(cfg))
+    def _mean_accuracy(output: SimulationOutput) -> float:
+        values = [
+            s.accuracy for s in output.controller_stats if not np.isnan(s.accuracy)
+        ]
+        return float(np.mean(values)) if values else float("nan")
+
+    extra = {
+        "prefetch_traffic_share": [o.prefetch_traffic_share for o in outputs],
+        "prefetch_accuracy": [_mean_accuracy(o) for o in outputs],
+    }
+    return _collect([o.metrics for o in outputs], _SIM_FIELDS, extra)
+
+
+def compare_policies(
+    base_config: SimulationConfig,
+    policies: dict[str, dict],
+    *,
+    replications: int = 5,
+    metric: str = "mean_access_time",
+) -> dict[str, ReplicatedResult]:
+    """Run each policy variant on common random numbers.
+
+    ``policies`` maps a display name to ``{"policy": ..., "policy_params":
+    ..., ...}`` overrides applied to ``base_config``.  Identical seeds per
+    replication index give paired samples.
+    """
+    results: dict[str, ReplicatedResult] = {}
+    for name, overrides in policies.items():
+        cfg = replace(base_config, **overrides)
+        results[name] = run_simulation_replications(
+            cfg, replications=replications, base_seed=base_config.seed
+        )
+    return results

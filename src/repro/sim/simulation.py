@@ -1,0 +1,283 @@
+"""Full-system simulation: clients, caches, predictors, prefetching, link.
+
+Composes every substrate into the system of the paper's Figure-less §2
+description: ``num_clients`` users behind one shared PS link, each with a
+cache, an access model and a prefetch policy.  Unlike the analytic mirror
+(:mod:`repro.sim.mirror`) nothing here is assumed — hit ratios *emerge*
+from cache dynamics, probabilities from the predictor, and the interaction
+models from the eviction policy.
+
+Request path (per client):
+
+1. Poisson-timed request for the next item of the client's Markov/Zipf
+   stream.
+2. Cache lookup (§4 tag discipline applied) → hit costs zero access time.
+3. On a miss: if the item is already being prefetched, *join* the pending
+   fetch (access time = remaining transfer time); otherwise demand-fetch.
+4. After the request, the controller plans prefetches; each runs as its
+   own process and inserts untagged on completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.cache.interaction import make_cache
+from repro.core.parameters import SystemParameters
+from repro.des.environment import Environment
+from repro.des.events import Event
+from repro.des.rng import RandomStreams
+from repro.errors import ConfigurationError
+from repro.estimation.utilization import ThresholdEstimator
+from repro.network.link import SharedLink
+from repro.network.server import OriginServer
+from repro.predictors import (
+    DependencyGraphPredictor,
+    FrequencyPredictor,
+    MarkovPredictor,
+    PPMPredictor,
+    Predictor,
+)
+from repro.prefetch import (
+    AdaptiveUtilizationPolicy,
+    DynamicThresholdPolicy,
+    FixedThresholdPolicy,
+    NoPrefetchPolicy,
+    PrefetchAllPolicy,
+    PrefetchController,
+    PrefetchPolicy,
+    StaticThresholdPolicy,
+    TopKPolicy,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.workload.markov_source import MarkovChainSource
+
+__all__ = ["Simulation", "run_simulation", "SimulationOutput"]
+
+
+class _TrueDistributionPredictor(Predictor):
+    """Adapter exposing the Markov source's exact next-access probabilities.
+
+    This realises the paper's analytical premise — the prefetcher *knows*
+    each candidate's probability — inside the full simulation, so observed
+    deviations from the analysis are attributable to cache/queue dynamics,
+    not to predictor error.
+    """
+
+    name = "true-distribution"
+
+    def __init__(self, source: MarkovChainSource, top: int = 16) -> None:
+        self._source = source
+        self._top = top
+        self._last: int | None = None
+
+    def record(self, item: Hashable) -> None:
+        self._last = int(item)  # the source's state is the last item
+
+    def predict(self, limit: int | None = None):
+        if self._last is None:
+            return []
+        dist = self._source.true_distribution(self._last, top=self._top)
+        return dist[:limit] if limit is not None else dist
+
+    def reset(self) -> None:
+        self._last = None
+
+
+def _build_predictor(config: SimulationConfig, source: MarkovChainSource) -> Predictor:
+    name = config.predictor
+    params = dict(config.predictor_params)
+    if name == "markov":
+        return MarkovPredictor(**params) if params else MarkovPredictor(order=1)
+    if name == "ppm":
+        return PPMPredictor(**params) if params else PPMPredictor(max_order=2)
+    if name == "dependency-graph":
+        return DependencyGraphPredictor(**params) if params else DependencyGraphPredictor()
+    if name == "frequency":
+        return FrequencyPredictor(**params) if params else FrequencyPredictor()
+    if name == "true-distribution":
+        return _TrueDistributionPredictor(source, top=config.prediction_limit)
+    raise ConfigurationError(f"unknown predictor {name!r}")  # pragma: no cover
+
+
+def _build_policy(
+    config: SimulationConfig, estimator: ThresholdEstimator
+) -> PrefetchPolicy:
+    name = config.policy
+    params = dict(config.policy_params)
+    if name == "none":
+        return NoPrefetchPolicy()
+    if name == "threshold-static":
+        sys_params = SystemParameters(
+            bandwidth=config.bandwidth,
+            request_rate=config.workload.request_rate,
+            mean_item_size=config.workload.mean_item_size,
+            hit_ratio=float(config.assumed_hit_ratio or 0.0),
+            cache_size=float(config.cache_capacity),
+        )
+        return StaticThresholdPolicy(sys_params, **params)
+    if name == "threshold-dynamic":
+        return DynamicThresholdPolicy(estimator, **params)
+    if name == "fixed-threshold":
+        return FixedThresholdPolicy(**params)
+    if name == "top-k":
+        return TopKPolicy(**params)
+    if name == "all":
+        return PrefetchAllPolicy()
+    if name == "adaptive":
+        return AdaptiveUtilizationPolicy(**params)
+    raise ConfigurationError(f"unknown policy {name!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class SimulationOutput:
+    """Metrics plus component-level statistics of one full-system run."""
+
+    metrics: SimulationMetrics
+    cache_stats: list
+    controller_stats: list
+    link_demand_fetches: int
+    link_prefetch_fetches: int
+    link_prefetch_bytes: float
+    link_demand_bytes: float
+
+    @property
+    def prefetch_traffic_share(self) -> float:
+        total = self.link_demand_bytes + self.link_prefetch_bytes
+        return self.link_prefetch_bytes / total if total > 0 else 0.0
+
+
+class Simulation:
+    """Builder/runner for the full system described by a config."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.streams = RandomStreams(config.seed)
+        self.env = Environment()
+        self.link = SharedLink(self.env, bandwidth=config.bandwidth)
+        spec = config.workload
+        self.origin = OriginServer(
+            self.link, spec.make_sizes(), rng=self.streams.get("origin/sizes")
+        )
+        self.collector = MetricsCollector(
+            self.env, self.link, warmup_time=config.warmup
+        )
+        self.clients: list[PrefetchController] = []
+        self._caches = []
+        self._build_clients()
+
+    # ------------------------------------------------------------------
+    def _build_clients(self) -> None:
+        config = self.config
+        spec = config.workload
+        self.env.process(self.collector.warmup_process())
+        for c in range(spec.num_clients):
+            source = spec.make_source(c, self.streams)
+            predictor = _build_predictor(config, source)
+            estimator = ThresholdEstimator(
+                config.bandwidth, cache_size=float(config.cache_capacity)
+            )
+            cache = make_cache(
+                config.cache_policy,
+                config.cache_capacity,
+                rng=self.streams.get(f"client{c}/evictions"),
+                value_fn=lambda key, p=predictor: p.probability(key),
+            )
+            policy = _build_policy(config, estimator)
+            controller = PrefetchController(
+                predictor=predictor,
+                policy=policy,
+                cache=cache,
+                bandwidth=config.bandwidth,
+                estimator=estimator,
+            )
+            self.clients.append(controller)
+            self._caches.append(cache)
+            self.env.process(self._client_process(c, source, controller))
+
+    # ------------------------------------------------------------------
+    def _client_process(self, client_id: int, source, controller):
+        config = self.config
+        spec = config.workload
+        arrivals = spec.make_arrivals()
+        arrival_rng = self.streams.get(f"client{client_id}/arrivals")
+        pending: dict[Hashable, Event] = {}  # item -> completion event
+
+        def prefetch_process(item: Hashable):
+            try:
+                result = yield self.origin.fetch(
+                    item, kind="prefetch", client=client_id
+                )
+            except Exception:
+                controller.on_fetch_failed(item)
+                pending.pop(item, None)
+                return
+            controller.on_fetch_complete(
+                item,
+                now=self.env.now,
+                size=result.request.size,
+                prefetched=True,
+            )
+            self.collector.record_retrieval(result.retrieval_time, prefetch=True)
+            ev = pending.pop(item, None)
+            if ev is not None and not ev.triggered:
+                ev.succeed(result)
+
+        def handle_request(item: Hashable):
+            t0 = self.env.now
+            size = self.origin.size_of(item)
+            outcome = controller.on_user_access(item, now=t0, size=size)
+            if outcome.hit:
+                self.collector.record_request(
+                    hit=True, access_time=0.0, tagged_hit=outcome.kind == "tagged_hit"
+                )
+            elif item in pending:
+                # A prefetch for this item is mid-flight: wait for it.
+                yield pending[item]
+                self.collector.record_request(hit=False, access_time=self.env.now - t0)
+            else:
+                result = yield self.origin.fetch(item, kind="demand", client=client_id)
+                controller.on_fetch_complete(
+                    item, now=self.env.now, size=result.request.size, prefetched=False
+                )
+                self.collector.record_request(hit=False, access_time=self.env.now - t0)
+                self.collector.record_retrieval(result.retrieval_time)
+            # Plan speculative fetches triggered by this request.
+            chosen = controller.plan(
+                now=self.env.now,
+                estimated_utilization=self.link.offered_load(),
+            )
+            self.collector.record_prefetch_issued(len(chosen))
+            for chosen_item, _prob in chosen:
+                ev = Event(self.env)
+                pending[chosen_item] = ev
+                self.env.process(prefetch_process(chosen_item))
+
+        while True:
+            yield self.env.timeout(arrivals.next_gap(arrival_rng))
+            item = source.next_item()
+            # Open-loop arrivals: requests are spawned, not awaited, so the
+            # request rate is unaffected by congestion or prefetching —
+            # exactly the paper's §2.1 assumption.
+            self.env.process(handle_request(item))
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationOutput:
+        self.env.run(until=self.config.duration)
+        metrics = self.collector.finalize()
+        return SimulationOutput(
+            metrics=metrics,
+            cache_stats=[c.stats for c in self._caches],
+            controller_stats=[c.stats for c in self.clients],
+            link_demand_fetches=self.link.demand_fetches,
+            link_prefetch_fetches=self.link.prefetch_fetches,
+            link_prefetch_bytes=self.link.prefetch_bytes,
+            link_demand_bytes=self.link.demand_bytes,
+        )
+
+
+def run_simulation(config: SimulationConfig) -> SimulationOutput:
+    """Build and run the full system once."""
+    return Simulation(config).run()

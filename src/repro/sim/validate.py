@@ -1,0 +1,92 @@
+"""Simulation-vs-theory comparison helpers (the `sim-vs-analytic` experiment).
+
+These functions pair a measured :class:`SimulationMetrics` with the paper's
+closed forms evaluated at the *same* operating point and report relative
+errors — the quantitative backbone of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import no_prefetch
+from repro.core.excess_cost import retrieval_time_per_request as theory_R
+from repro.core.model_a import ModelA
+from repro.core.parameters import SystemParameters
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.mirror import MirrorConfig
+
+__all__ = ["TheoryComparison", "mirror_vs_theory"]
+
+
+@dataclass(frozen=True)
+class TheoryComparison:
+    """One (measured, predicted) pair per paper quantity."""
+
+    measured_access_time: float
+    predicted_access_time: float
+    measured_utilization: float
+    predicted_utilization: float
+    measured_retrieval_per_request: float
+    predicted_retrieval_per_request: float
+
+    @staticmethod
+    def _rel(measured: float, predicted: float) -> float:
+        scale = max(abs(predicted), 1e-12)
+        return abs(measured - predicted) / scale
+
+    @property
+    def access_time_error(self) -> float:
+        return self._rel(self.measured_access_time, self.predicted_access_time)
+
+    @property
+    def utilization_error(self) -> float:
+        return self._rel(self.measured_utilization, self.predicted_utilization)
+
+    @property
+    def retrieval_error(self) -> float:
+        return self._rel(
+            self.measured_retrieval_per_request, self.predicted_retrieval_per_request
+        )
+
+    def max_error(self) -> float:
+        return max(self.access_time_error, self.utilization_error, self.retrieval_error)
+
+    def rows(self) -> list[list[object]]:
+        """Table rows: quantity, predicted, measured, rel-error."""
+        return [
+            ["t_bar", self.predicted_access_time, self.measured_access_time,
+             self.access_time_error],
+            ["rho", self.predicted_utilization, self.measured_utilization,
+             self.utilization_error],
+            ["R", self.predicted_retrieval_per_request,
+             self.measured_retrieval_per_request, self.retrieval_error],
+        ]
+
+
+def mirror_vs_theory(config: MirrorConfig, metrics: SimulationMetrics) -> TheoryComparison:
+    """Compare a mirror run against eqs. (5)/(10), (8), (25).
+
+    With ``n_f = 0`` the predictions reduce to the no-prefetch forms
+    (eqs. 4–5, 26); otherwise model A's chain applies.
+    """
+    params: SystemParameters = config.params
+    if config.n_f == 0.0:
+        predicted_t = no_prefetch.access_time(params, on_unstable="nan")
+        predicted_rho = params.base_utilization
+        predicted_R = no_prefetch.retrieval_time_per_request(params, on_unstable="nan")
+    else:
+        model = ModelA(params)
+        predicted_t = float(model.access_time(config.n_f, config.p, on_unstable="nan"))
+        predicted_rho = float(model.utilization(config.n_f, config.p))
+        predicted_R = float(
+            theory_R(predicted_rho, params.request_rate, on_unstable="nan")
+        )
+    return TheoryComparison(
+        measured_access_time=metrics.mean_access_time,
+        predicted_access_time=predicted_t,
+        measured_utilization=metrics.utilization,
+        predicted_utilization=predicted_rho,
+        measured_retrieval_per_request=metrics.retrieval_time_per_request,
+        predicted_retrieval_per_request=predicted_R,
+    )

@@ -1,0 +1,38 @@
+"""Workload substrate: catalogues, arrivals, sizes, sources, traces."""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    PoissonArrivals,
+    WeibullArrivals,
+)
+from repro.workload.markov_source import MarkovChainSource
+from repro.workload.sessions import WorkloadSpec, generate_trace
+from repro.workload.sizes import (
+    ExponentialSize,
+    FixedSize,
+    LognormalSize,
+    ParetoSize,
+    SizeDistribution,
+)
+from repro.workload.trace import TraceRecord, load_trace, save_trace
+from repro.workload.zipf import ZipfCatalog
+
+__all__ = [
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "ExponentialSize",
+    "FixedSize",
+    "LognormalSize",
+    "MarkovChainSource",
+    "ParetoSize",
+    "PoissonArrivals",
+    "SizeDistribution",
+    "TraceRecord",
+    "WeibullArrivals",
+    "WorkloadSpec",
+    "ZipfCatalog",
+    "generate_trace",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,98 @@
+"""Markov reference-stream generator with controllable predictability.
+
+The paper's analysis assumes the prefetcher is offered items with known
+access probability ``p``.  To create a workload where that premise holds
+*by construction*, this source draws the next item as:
+
+* with probability ``q`` — follow the item's designated successor chain
+  (the predictable component a Markov/PPM predictor can learn),
+* with probability ``1 − q`` — draw fresh from a Zipf catalogue (noise).
+
+So after observing item ``i``, the true next-access distribution is
+``q`` on ``succ(i)`` plus ``(1−q)·zipf`` elsewhere — i.e. the successor's
+probability is tunable through ``q``, letting experiments place candidate
+probabilities precisely above or below the threshold ``p_th``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.workload.zipf import ZipfCatalog
+
+__all__ = ["MarkovChainSource"]
+
+
+class MarkovChainSource:
+    """Zipf-modulated deterministic-successor Markov source.
+
+    Parameters
+    ----------
+    catalog:
+        The item universe and its popularity skew.
+    follow_probability:
+        q ∈ [0, 1] — probability of following the successor chain.
+    successor_shift:
+        ``succ(i) = (i + shift) mod N``; a fixed permutation keeps the true
+        transition matrix known in closed form.
+    rng:
+        Generator for the random draws.
+    """
+
+    def __init__(
+        self,
+        catalog: ZipfCatalog,
+        *,
+        follow_probability: float = 0.8,
+        successor_shift: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= follow_probability <= 1.0:
+            raise ParameterError(
+                f"follow_probability must be in [0, 1], got {follow_probability!r}"
+            )
+        if successor_shift % catalog.num_items == 0:
+            raise ParameterError("successor_shift must not be a multiple of num_items")
+        self.catalog = catalog
+        self.follow_probability = float(follow_probability)
+        self.successor_shift = int(successor_shift)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._current: int | None = None
+
+    def successor(self, item: int) -> int:
+        return (item + self.successor_shift) % self.catalog.num_items
+
+    def next_item(self) -> int:
+        """Generate the next access."""
+        if (
+            self._current is not None
+            and self._rng.random() < self.follow_probability
+        ):
+            item = self.successor(self._current)
+        else:
+            item = self.catalog.sample(self._rng)
+        self._current = item
+        return item
+
+    def generate(self, count: int) -> list[int]:
+        return [self.next_item() for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # Ground truth (what an ideal predictor would report)
+    # ------------------------------------------------------------------
+    def true_next_probability(self, last_item: int, candidate: int) -> float:
+        """Exact ``P(next = candidate | current = last_item)``."""
+        q = self.follow_probability
+        base = (1.0 - q) * self.catalog.probability(candidate)
+        if candidate == self.successor(last_item):
+            return q + base
+        return base
+
+    def true_distribution(self, last_item: int, *, top: int = 10) -> list[tuple[int, float]]:
+        """The true next-access distribution's ``top`` heaviest entries."""
+        succ = self.successor(last_item)
+        candidates = {succ} | {i for i, _ in self.catalog.top(top)}
+        dist = [(i, self.true_next_probability(last_item, i)) for i in candidates]
+        dist.sort(key=lambda pair: (-pair[1], pair[0]))
+        return dist[:top]

@@ -1,0 +1,129 @@
+"""Workload trace records and file I/O.
+
+Traces let experiments be replayed exactly (e.g. compare prefetch policies
+on the identical request sequence) and serve as the interchange format for
+the trace-driven example.  Two encodings:
+
+* CSV — ``time,client,item,size`` with a header line,
+* JSONL — one JSON object per record (richer; preserves extras).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import TraceFormatError
+
+__all__ = ["TraceRecord", "save_trace", "load_trace"]
+
+_CSV_HEADER = ["time", "client", "item", "size"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One logical user request."""
+
+    time: float
+    client: int
+    item: int
+    size: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise TraceFormatError(f"negative timestamp {self.time!r}")
+        if self.size <= 0:
+            raise TraceFormatError(f"non-positive size {self.size!r}")
+
+
+def save_trace(records: Iterable[TraceRecord], path: str | Path) -> int:
+    """Write records; format chosen by suffix (.csv or .jsonl). Returns count."""
+    path = Path(path)
+    records = list(records)
+    _check_sorted(records)
+    if path.suffix == ".csv":
+        with path.open("w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(_CSV_HEADER)
+            for r in records:
+                writer.writerow([repr(r.time), r.client, r.item, repr(r.size)])
+    elif path.suffix == ".jsonl":
+        with path.open("w", encoding="utf-8") as fh:
+            for r in records:
+                fh.write(json.dumps(asdict(r)) + "\n")
+    else:
+        raise TraceFormatError(
+            f"unsupported trace extension {path.suffix!r}; use .csv or .jsonl"
+        )
+    return len(records)
+
+
+def load_trace(path: str | Path) -> list[TraceRecord]:
+    """Read a trace file; validates schema and time ordering."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"trace file not found: {path}")
+    if path.suffix == ".csv":
+        records = list(_read_csv(path))
+    elif path.suffix == ".jsonl":
+        records = list(_read_jsonl(path))
+    else:
+        raise TraceFormatError(
+            f"unsupported trace extension {path.suffix!r}; use .csv or .jsonl"
+        )
+    _check_sorted(records)
+    return records
+
+
+def _check_sorted(records: list[TraceRecord]) -> None:
+    for earlier, later in zip(records, records[1:]):
+        if later.time < earlier.time:
+            raise TraceFormatError(
+                f"trace not time-ordered: {later.time} after {earlier.time}"
+            )
+
+
+def _read_csv(path: Path) -> Iterator[TraceRecord]:
+    with path.open(newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TraceFormatError(f"{path}: empty trace file") from None
+        if header != _CSV_HEADER:
+            raise TraceFormatError(
+                f"{path}: bad CSV header {header!r}; expected {_CSV_HEADER!r}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != 4:
+                raise TraceFormatError(f"{path}:{lineno}: expected 4 fields, got {len(row)}")
+            try:
+                yield TraceRecord(
+                    time=float(row[0]),
+                    client=int(row[1]),
+                    item=int(row[2]),
+                    size=float(row[3]),
+                )
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc
+
+
+def _read_jsonl(path: Path) -> Iterator[TraceRecord]:
+    with path.open(encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                yield TraceRecord(
+                    time=float(obj["time"]),
+                    client=int(obj["client"]),
+                    item=int(obj["item"]),
+                    size=float(obj.get("size", 1.0)),
+                )
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc

@@ -1,0 +1,189 @@
+"""Tests for series containers, tables, plots and confidence intervals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ConfidenceInterval,
+    Series,
+    SweepResult,
+    format_table,
+    format_value,
+    mean_confidence_interval,
+    relative_error,
+    render_series,
+    render_sweep,
+)
+from repro.errors import ParameterError
+
+
+class TestSeries:
+    def test_basic_construction(self):
+        s = Series("curve", [0, 1, 2], [5, 6, 7])
+        assert len(s) == 3
+        assert s.y_at(1.0) == 6.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ParameterError):
+            Series("bad", [0, 1], [1])
+        with pytest.raises(ParameterError):
+            Series("bad", [[0]], [[1]])
+
+    def test_finite_drops_nan(self):
+        s = Series("c", [0, 1, 2], [1.0, float("nan"), 3.0])
+        f = s.finite()
+        assert len(f) == 2 and f.y.tolist() == [1.0, 3.0]
+
+    def test_y_at_missing_point(self):
+        with pytest.raises(KeyError):
+            Series("c", [0.0], [1.0]).y_at(5.0)
+
+    def test_monotonicity_helpers(self):
+        up = Series("u", [0, 1, 2], [1, 2, 3])
+        down = Series("d", [0, 1, 2], [3, 2, 1])
+        assert up.is_monotone(increasing=True, strict=True)
+        assert not up.is_monotone(increasing=False)
+        assert down.is_monotone(increasing=False, strict=True)
+
+
+class TestSweepResult:
+    def _sweep(self):
+        return SweepResult(
+            title="t",
+            x_label="x",
+            y_label="y",
+            series=(
+                Series("a", [0, 1], [1, 2]),
+                Series("b", [0, 1], [3, 4]),
+            ),
+            params={"k": 1},
+        )
+
+    def test_rows_wide_format(self):
+        rows = self._sweep().to_rows()
+        assert rows == [[0.0, 1.0, 3.0], [1.0, 2.0, 4.0]]
+
+    def test_header(self):
+        assert self._sweep().header() == ["x", "a", "b"]
+
+    def test_get_by_label(self):
+        assert self._sweep().get("b").y.tolist() == [3.0, 4.0]
+        with pytest.raises(KeyError):
+            self._sweep().get("zzz")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ParameterError):
+            SweepResult(
+                title="t", x_label="x", y_label="y",
+                series=(Series("a", [0], [0]), Series("a", [0], [0])),
+            )
+
+    def test_mismatched_grids_rejected_on_export(self):
+        sweep = SweepResult(
+            title="t", x_label="x", y_label="y",
+            series=(Series("a", [0, 1], [0, 0]), Series("b", [0, 2], [0, 0])),
+        )
+        with pytest.raises(ParameterError):
+            sweep.to_rows()
+
+    def test_csv_round_trip_values(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        text = self._sweep().to_csv(path)
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1] == "0.0,1.0,3.0"
+
+    def test_csv_nan_rendered_empty(self):
+        sweep = SweepResult(
+            title="t", x_label="x", y_label="y",
+            series=(Series("a", [0.0], [float("nan")]),),
+        )
+        assert ",\r\n" in sweep.to_csv() or ",\n" in sweep.to_csv()
+
+    def test_from_grid(self):
+        sweep = SweepResult.from_grid(
+            "t", "x", "y", [0, 1], np.array([[1, 2], [3, 4]]), ["p", "q"]
+        )
+        assert sweep.labels == ("p", "q")
+        with pytest.raises(ParameterError):
+            SweepResult.from_grid("t", "x", "y", [0], np.zeros((2, 1)), ["only"])
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(float("nan")) == "--"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(1.23456789, precision=3) == "1.23"
+        assert format_value("text") == "text"
+
+    def test_format_table_alignment(self):
+        out = format_table(["x", "y"], [[1, 2.5], [10, 20]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("y")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+
+class TestPlots:
+    def test_render_contains_glyphs_and_legend(self):
+        s = Series("curve", np.linspace(0, 1, 20), np.linspace(0, 1, 20))
+        out = render_series([s], width=40, height=10, title="T")
+        assert "T" in out and "*" in out and "curve" in out
+
+    def test_render_sweep_smoke(self):
+        sweep = SweepResult(
+            title="panel", x_label="x", y_label="y",
+            series=(Series("a", [0, 1, 2], [0, 1, 4]),),
+        )
+        out = render_sweep(sweep, width=30, height=8, y_range=(0, 5))
+        assert "panel" in out
+
+    def test_nan_points_skipped(self):
+        s = Series("c", [0, 1, 2], [0.0, float("nan"), 1.0])
+        out = render_series([s], width=20, height=5)
+        assert out  # no crash
+
+
+class TestConfidence:
+    def test_interval_contains_mean(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert ci.contains(2.5)
+        assert ci.n == 4 and ci.mean == pytest.approx(2.5)
+
+    def test_single_sample_infinite_width(self):
+        ci = mean_confidence_interval([5.0])
+        assert math.isinf(ci.half_width)
+        assert ci.contains(1e9)
+
+    def test_higher_level_wider(self):
+        data = [1.0, 2.0, 3.0, 2.0, 1.5]
+        assert (
+            mean_confidence_interval(data, level=0.99).half_width
+            > mean_confidence_interval(data, level=0.9).half_width
+        )
+
+    def test_known_t_value(self):
+        # n=4, std=1... verify against scipy directly
+        from scipy import stats
+
+        data = [0.0, 1.0, 2.0, 3.0]
+        ci = mean_confidence_interval(data, level=0.95)
+        sem = np.std(data, ddof=1) / 2.0
+        expected = stats.t.ppf(0.975, df=3) * sem
+        assert ci.half_width == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            mean_confidence_interval([])
+        with pytest.raises(ParameterError):
+            mean_confidence_interval([1.0], level=1.5)
+
+    def test_relative_error(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0

@@ -1,0 +1,143 @@
+"""Behavioural tests for each replacement policy."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    ClockCache,
+    FIFOCache,
+    GreedyDualSizeCache,
+    LFUCache,
+    LRUCache,
+    RandomCache,
+    ValueAwareCache,
+)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        cache = LRUCache(2)
+        cache.insert("a")
+        cache.insert("b")
+        cache.lookup("a")  # refresh a
+        cache.insert("c")  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_recency_order_exposed(self):
+        cache = LRUCache(3)
+        for k in "abc":
+            cache.insert(k)
+        cache.lookup("a")
+        assert cache.recency_order() == ["b", "c", "a"]
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(2)
+        cache.insert("a")
+        cache.insert("b")
+        for _ in range(3):
+            cache.lookup("a")
+        cache.insert("c")  # evicts b (0 accesses)
+        assert "a" in cache and "b" not in cache
+
+    def test_tie_breaks_by_recency(self):
+        cache = LFUCache(2)
+        cache.insert("a", now=1.0)
+        cache.insert("b", now=2.0)
+        cache.insert("c", now=3.0)  # a and b tie at 0 accesses; a is older
+        assert "a" not in cache
+
+
+class TestFIFO:
+    def test_ignores_accesses(self):
+        cache = FIFOCache(2)
+        cache.insert("a")
+        cache.insert("b")
+        for _ in range(5):
+            cache.lookup("a")
+        cache.insert("c")  # still evicts a (first in)
+        assert "a" not in cache and "b" in cache
+
+
+class TestClock:
+    def test_second_chance(self):
+        cache = ClockCache(2)
+        cache.insert("a")
+        cache.insert("b")
+        cache.lookup("a")  # reference a
+        cache.insert("c")
+        # sweep: a referenced -> spared; b unreferenced after a's bit cleared
+        assert "a" in cache and "b" not in cache
+
+    def test_all_referenced_degenerates_to_fifo_sweep(self):
+        cache = ClockCache(2)
+        cache.insert("a")
+        cache.insert("b")
+        cache.lookup("a")
+        cache.lookup("b")
+        cache.insert("c")  # clears both bits, evicts a (hand order)
+        assert "a" not in cache
+
+
+class TestRandom:
+    def test_eviction_uses_rng(self):
+        cache = RandomCache(2, rng=np.random.default_rng(0))
+        cache.insert("a")
+        cache.insert("b")
+        cache.insert("c")
+        assert len(cache) == 2
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            cache = RandomCache(2, rng=np.random.default_rng(seed))
+            for k in "abcdef":
+                cache.insert(k)
+            return set(cache)
+
+        assert run(3) == run(3)
+
+
+class TestGreedyDualSize:
+    def test_prefers_evicting_large_items(self):
+        cache = GreedyDualSizeCache(capacity_bytes=10.0)
+        cache.insert("small", size=1.0)
+        cache.insert("large", size=8.0)
+        cache.insert("new", size=5.0)  # H(small)=1, H(large)=0.125
+        assert "large" not in cache and "small" in cache
+
+    def test_access_refreshes_priority(self):
+        cache = GreedyDualSizeCache(3)
+        cache.insert("a")
+        cache.insert("b")
+        cache.insert("c")
+        cache.lookup("a")
+        cache.insert("d")  # a was refreshed; b or c goes
+        assert "a" in cache
+
+    def test_custom_cost_fn(self):
+        cache = GreedyDualSizeCache(
+            2, cost_fn=lambda e: 100.0 if e.key == "precious" else 1.0
+        )
+        cache.insert("precious")
+        cache.insert("cheap")
+        cache.insert("new")
+        assert "precious" in cache and "cheap" not in cache
+
+
+class TestValueAware:
+    def test_evicts_minimum_value(self):
+        values = {"a": 0.9, "b": 0.0, "c": 0.5}
+        cache = ValueAwareCache(2, value_fn=lambda k: values[k])
+        cache.insert("a")
+        cache.insert("b")
+        cache.insert("c")  # evicts b (zero value) - model A semantics
+        assert "b" not in cache and "a" in cache
+
+    def test_value_fn_swap(self):
+        cache = ValueAwareCache(2)
+        cache.insert("a")
+        cache.insert("b")
+        cache.set_value_fn(lambda k: 1.0 if k == "a" else 0.0)
+        cache.insert("c")
+        assert "a" in cache and "b" not in cache

@@ -1,0 +1,67 @@
+"""Property-based cache invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CACHE_POLICIES, make_cache
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "lookup", "prefetch"]),
+        st.integers(min_value=0, max_value=20),
+    ),
+    max_size=200,
+)
+
+policy_names = st.sampled_from(sorted(CACHE_POLICIES))
+
+
+class TestInvariants:
+    @settings(max_examples=60)
+    @given(policy=policy_names, capacity=st.integers(2, 8), operations=ops)
+    def test_capacity_never_exceeded(self, policy, capacity, operations):
+        cache = make_cache(policy, capacity)
+        now = 0.0
+        for op, key in operations:
+            now += 1.0
+            if op == "insert":
+                cache.insert(key, now=now)
+            elif op == "prefetch":
+                cache.insert(key, now=now, prefetched=True)
+            else:
+                cache.lookup(key, now=now)
+            assert len(cache) <= capacity
+
+    @settings(max_examples=60)
+    @given(policy=policy_names, capacity=st.integers(2, 8), operations=ops)
+    def test_stats_accounting_consistent(self, policy, capacity, operations):
+        cache = make_cache(policy, capacity)
+        now = 0.0
+        for op, key in operations:
+            now += 1.0
+            if op == "lookup":
+                cache.lookup(key, now=now)
+            else:
+                cache.insert(key, now=now, prefetched=(op == "prefetch"))
+        s = cache.stats
+        assert s.hits + s.misses == s.accesses
+        assert s.tagged_hits + s.untagged_hits == s.hits
+        assert s.prefetch_insertions <= s.insertions
+        # live entries = insertions - evictions (no explicit removals here)
+        assert len(cache) == s.insertions - s.evictions
+
+    @settings(max_examples=60)
+    @given(policy=policy_names, capacity=st.integers(2, 8), operations=ops)
+    def test_resident_entry_found_by_lookup(self, policy, capacity, operations):
+        """Whatever the policy, a key reported resident must hit."""
+        cache = make_cache(policy, capacity)
+        now = 0.0
+        for op, key in operations:
+            now += 1.0
+            if op == "lookup":
+                resident = key in cache
+                hit = cache.lookup(key, now=now) is not None
+                assert hit == resident
+            else:
+                cache.insert(key, now=now, prefetched=(op == "prefetch"))
+                assert key in cache

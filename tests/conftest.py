@@ -1,0 +1,25 @@
+"""Shared fixtures: the paper's canonical operating points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SystemParameters
+
+
+@pytest.fixture
+def paper_params() -> SystemParameters:
+    """Figure 2/3 panel 1: b=50, lambda=30, s=1, h'=0 (p_th = 0.6)."""
+    return SystemParameters.paper_defaults()
+
+
+@pytest.fixture
+def paper_params_h03() -> SystemParameters:
+    """Figure 2/3 panel 2: h'=0.3 (p_th = 0.42)."""
+    return SystemParameters.paper_defaults(hit_ratio=0.3)
+
+
+@pytest.fixture
+def paper_params_b() -> SystemParameters:
+    """Model-B-ready point: h'=0.3, n(C)=10 (p_th = 0.45)."""
+    return SystemParameters.paper_defaults(hit_ratio=0.3, cache_size=10.0)

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the paper's central claims.
+
+These are the strongest regression net on the algebra: random operating
+points, random prefetch plans, and the invariants must hold everywhere.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.model_a import ModelA
+from repro.core.model_b import ModelB
+from repro.core.parameters import SystemParameters
+
+# Operating points with headroom: rho' bounded away from 1 so floating
+# point noise near the pole doesn't blur the claims under test.
+stable_params = st.builds(
+    SystemParameters,
+    bandwidth=st.floats(min_value=10.0, max_value=1000.0),
+    request_rate=st.floats(min_value=1.0, max_value=100.0),
+    mean_item_size=st.floats(min_value=0.01, max_value=10.0),
+    hit_ratio=st.floats(min_value=0.0, max_value=0.9),
+).filter(lambda p: p.base_utilization < 0.95)
+
+
+@st.composite
+def params_with_cache(draw):
+    params = draw(stable_params)
+    n_c = draw(st.floats(min_value=2.0, max_value=500.0))
+    return params.with_(cache_size=n_c)
+
+
+class TestThresholdSignClaim:
+    """The boxed §3.1/§3.2 result: sign(G) = sign(p - p_th)."""
+
+    @settings(max_examples=200)
+    @given(
+        params=stable_params,
+        p=st.floats(min_value=0.01, max_value=1.0),
+        n_f_frac=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_model_a(self, params, p, n_f_frac):
+        model = ModelA(params)
+        p_th = model.threshold()
+        n_f = n_f_frac * float(model.max_np(p))  # always feasible (eq. 6)
+        g = float(np.asarray(model.improvement_closed_form(n_f, p)))
+        assume(math.isfinite(g))
+        tol = 1e-9 * max(1.0, abs(g))
+        if p > p_th + 1e-9:
+            assert g > -tol
+        elif p < p_th - 1e-9:
+            assert g < tol
+
+    @settings(max_examples=200)
+    @given(
+        params=params_with_cache(),
+        p=st.floats(min_value=0.01, max_value=1.0),
+        n_f_frac=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_model_b(self, params, p, n_f_frac):
+        model = ModelB(params)
+        p_th = model.threshold()
+        n_f = n_f_frac * float(model.max_np(p))
+        g = float(np.asarray(model.improvement_closed_form(n_f, p)))
+        assume(math.isfinite(g))
+        tol = 1e-9 * max(1.0, abs(g))
+        if p > p_th + 1e-9:
+            assert g > -tol
+        elif p < p_th - 1e-9:
+            assert g < tol
+
+
+class TestRedundancyClaim:
+    """Conditions (12.3)/(20.3) are implied by feasibility + profitability."""
+
+    @settings(max_examples=200)
+    @given(
+        params=stable_params,
+        p=st.floats(min_value=0.01, max_value=1.0),
+        n_f_frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_model_a_stability_inside_feasible_region(self, params, p, n_f_frac):
+        model = ModelA(params)
+        assume(p > model.threshold() + 1e-9)
+        n_f = n_f_frac * float(model.max_np(p))
+        rho = float(np.asarray(model.utilization(n_f, p)))
+        assert rho < 1.0 + 1e-9
+
+    @settings(max_examples=200)
+    @given(
+        params=params_with_cache(),
+        p=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_model_b_limit_exceeds_max_np(self, params, p):
+        model = ModelB(params)
+        assume(p > model.threshold() + 1e-9)
+        assert float(model.n_f_limit(p)) >= float(model.max_np(p)) - 1e-9
+
+
+class TestMonotonicityClaim:
+    """Below eq. (14): G changes monotonically in n̄(F) at fixed p."""
+
+    @settings(max_examples=150)
+    @given(
+        params=stable_params,
+        p=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_model_a_monotone(self, params, p):
+        model = ModelA(params)
+        n_f = np.linspace(0.0, float(model.max_np(p)), 20)
+        g = np.asarray(model.improvement_closed_form(n_f, p))
+        g = g[np.isfinite(g)]
+        assume(g.size >= 3)
+        diffs = np.diff(g)
+        scale = 1e-12 + 1e-9 * np.max(np.abs(g))
+        if p > model.threshold() + 1e-9:
+            assert np.all(diffs >= -scale)
+        elif p < model.threshold() - 1e-9:
+            assert np.all(diffs <= scale)
+
+
+class TestDerivationConsistency:
+    """Closed forms (11)/(19) must equal the generic h-based derivation."""
+
+    @settings(max_examples=150)
+    @given(
+        params=params_with_cache(),
+        p=st.floats(min_value=0.01, max_value=1.0),
+        n_f_frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_models_agree_with_generic_chain(self, params, p, n_f_frac):
+        for model in (ModelA(params), ModelB(params)):
+            n_f = n_f_frac * float(model.max_np(p))
+            closed = float(np.asarray(model.improvement_closed_form(n_f, p)))
+            generic = float(np.asarray(model.improvement(n_f, p)))
+            if math.isnan(closed):
+                assert math.isnan(generic)
+            else:
+                assert closed == pytest.approx(generic, rel=1e-9, abs=1e-12)
+
+
+class TestExcessCostProperties:
+    @settings(max_examples=150)
+    @given(
+        params=stable_params,
+        p=st.floats(min_value=0.01, max_value=1.0),
+        n_f_frac=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_cost_nonnegative(self, params, p, n_f_frac):
+        model = ModelA(params)
+        n_f = n_f_frac * float(model.max_np(p))
+        c = float(np.asarray(model.excess_cost(n_f, p)))
+        assume(math.isfinite(c))
+        assert c >= -1e-12

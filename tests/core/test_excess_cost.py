@@ -1,0 +1,86 @@
+"""Tests for excess retrieval cost (eqs. 23-27) and load impedance."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.excess_cost import (
+    excess_cost,
+    load_impedance_ratio,
+    marginal_cost,
+    retrieval_time_per_request,
+)
+from repro.core.model_a import ModelA
+
+
+class TestRetrievalPerRequest:
+    def test_eq25(self):
+        assert retrieval_time_per_request(0.5, 30.0) == pytest.approx(
+            0.5 / (30 * 0.5)
+        )
+
+    def test_zero_load_zero_time(self):
+        assert retrieval_time_per_request(0.0, 30.0) == 0.0
+
+    def test_saturated_nan(self):
+        assert math.isnan(retrieval_time_per_request(1.0, 30.0))
+
+
+class TestExcessCost:
+    def test_eq27(self):
+        c = excess_cost(0.6, 0.42, 30.0)
+        assert c == pytest.approx((0.6 - 0.42) / (30 * 0.4 * 0.58))
+
+    def test_no_extra_load_no_cost(self):
+        assert excess_cost(0.42, 0.42, 30.0) == pytest.approx(0.0)
+
+    def test_consistency_with_eq25(self):
+        # C = R - R' must hold exactly.
+        rho, rho_p, lam = 0.7, 0.4, 30.0
+        assert excess_cost(rho, rho_p, lam) == pytest.approx(
+            retrieval_time_per_request(rho, lam)
+            - retrieval_time_per_request(rho_p, lam)
+        )
+
+    def test_model_a_cost_positive_for_any_prefetch(self, paper_params_h03):
+        m = ModelA(paper_params_h03)
+        for p in (0.1, 0.5, 0.9):
+            c = float(np.asarray(m.excess_cost(0.3, p)))
+            assert c > 0.0
+
+    def test_figure3_ordering_lower_p_costs_more(self, paper_params):
+        m = ModelA(paper_params)
+        costs = [float(np.asarray(m.excess_cost(0.3, p))) for p in (0.1, 0.5, 0.9)]
+        assert costs[0] > costs[1] > costs[2]
+
+    def test_figure3_monotone_in_n_f(self, paper_params):
+        m = ModelA(paper_params)
+        n_f = np.linspace(0, 0.6, 13)
+        c = np.asarray(m.excess_cost(n_f, 0.5))
+        finite = c[np.isfinite(c)]
+        assert np.all(np.diff(finite) > 0)
+
+    def test_figure3_convexity(self, paper_params):
+        m = ModelA(paper_params)
+        n_f = np.linspace(0, 0.6, 13)
+        c = np.asarray(m.excess_cost(n_f, 0.5))
+        second_diff = np.diff(c[np.isfinite(c)], n=2)
+        assert np.all(second_diff > -1e-12)
+
+
+class TestLoadImpedance:
+    def test_marginal_cost_grows_with_load(self):
+        assert marginal_cost(0.8, 30.0) > marginal_cost(0.2, 30.0)
+
+    def test_marginal_cost_value(self):
+        assert marginal_cost(0.5, 30.0) == pytest.approx(1.0 / (30 * 0.25))
+
+    def test_ratio_definition(self):
+        assert load_impedance_ratio(0.2, 0.8) == pytest.approx((0.8 / 0.2) ** 2)
+
+    def test_ratio_identity(self):
+        assert load_impedance_ratio(0.5, 0.5) == pytest.approx(1.0)
+
+    def test_ratio_nan_at_saturation(self):
+        assert math.isnan(load_impedance_ratio(0.5, 1.0))

@@ -1,0 +1,82 @@
+"""Tests for the interpolated model AB (paper §6 sketch)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_a import ModelA
+from repro.core.model_ab import ModelAB
+from repro.core.model_b import ModelB
+from repro.errors import ParameterError
+
+
+class TestEndpoints:
+    def test_alpha0_recovers_model_a(self, paper_params_b):
+        ab = ModelAB(paper_params_b, eviction_value=0.0)
+        a = ModelA(paper_params_b)
+        assert ab.threshold() == pytest.approx(a.threshold())
+        n_f = np.linspace(0, 1.0, 7)
+        assert np.allclose(
+            np.asarray(ab.improvement_closed_form(n_f, 0.8)),
+            np.asarray(a.improvement_closed_form(n_f, 0.8)),
+            equal_nan=True,
+        )
+
+    def test_alpha1_recovers_model_b(self, paper_params_b):
+        ab = ModelAB(paper_params_b, eviction_value=1.0)
+        b = ModelB(paper_params_b)
+        assert ab.threshold() == pytest.approx(b.threshold())
+        n_f = np.linspace(0, 1.0, 7)
+        assert np.allclose(
+            np.asarray(ab.improvement_closed_form(n_f, 0.8)),
+            np.asarray(b.improvement_closed_form(n_f, 0.8)),
+            equal_nan=True,
+        )
+
+
+class TestInterpolation:
+    def test_threshold_monotone_in_alpha(self, paper_params_b):
+        thresholds = [
+            ModelAB(paper_params_b, eviction_value=a).threshold()
+            for a in np.linspace(0, 1, 11)
+        ]
+        assert thresholds == sorted(thresholds)
+
+    def test_improvement_bracketed(self, paper_params_b):
+        g_a = float(np.asarray(ModelA(paper_params_b).improvement_closed_form(0.5, 0.8)))
+        g_b = float(np.asarray(ModelB(paper_params_b).improvement_closed_form(0.5, 0.8)))
+        lo, hi = min(g_a, g_b), max(g_a, g_b)
+        for alpha in np.linspace(0, 1, 9):
+            g = float(
+                np.asarray(
+                    ModelAB(paper_params_b, eviction_value=float(alpha))
+                    .improvement_closed_form(0.5, 0.8)
+                )
+            )
+            assert lo - 1e-12 <= g <= hi + 1e-12
+
+    def test_closed_matches_generic(self, paper_params_b):
+        ab = ModelAB(paper_params_b, eviction_value=0.37)
+        n_f = np.linspace(0, 1.0, 9)
+        for p in (0.3, 0.6, 0.9):
+            assert np.allclose(
+                np.asarray(ab.improvement_closed_form(n_f, p)),
+                np.asarray(ab.improvement(n_f, p)),
+                equal_nan=True,
+                atol=1e-12,
+            )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("alpha", [-0.1, 1.1])
+    def test_alpha_domain(self, paper_params_b, alpha):
+        with pytest.raises(ParameterError):
+            ModelAB(paper_params_b, eviction_value=alpha)
+
+    def test_alpha0_works_without_cache_size(self, paper_params):
+        # model A limit needs no n(C) (the paper's "one less parameter")
+        ab = ModelAB(paper_params, eviction_value=0.0)
+        assert ab.threshold() == pytest.approx(0.6)
+
+    def test_positive_alpha_needs_cache_size(self, paper_params):
+        with pytest.raises(ParameterError):
+            ModelAB(paper_params, eviction_value=0.5)

@@ -1,0 +1,110 @@
+"""Tests for model B (eqs. 15-22)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model_a import ModelA
+from repro.core.model_b import ModelB, improvement, threshold
+from repro.core.parameters import SystemParameters
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_requires_cache_size(self, paper_params):
+        with pytest.raises(ParameterError):
+            ModelB(paper_params)
+
+    def test_accepts_with_cache_size(self, paper_params_b):
+        assert ModelB(paper_params_b).name == "B"
+
+
+class TestHitRatio:
+    def test_eq15(self, paper_params_b):
+        m = ModelB(paper_params_b)
+        # h = 0.3 - 0.5*0.3/10 + 0.5*0.8 = 0.3 - 0.015 + 0.4
+        assert m.hit_ratio(0.5, 0.8) == pytest.approx(0.685)
+
+    def test_eviction_loss_reduces_hit_gain_vs_model_a(self, paper_params_b):
+        a = ModelA(paper_params_b)
+        b = ModelB(paper_params_b)
+        assert b.hit_ratio(0.5, 0.8) < a.hit_ratio(0.5, 0.8)
+
+
+class TestThreshold:
+    def test_eq21(self, paper_params_b):
+        # rho' + h'/n(C) = 0.42 + 0.03
+        assert threshold(paper_params_b) == pytest.approx(0.45)
+
+    def test_threshold_above_model_a(self, paper_params_b):
+        assert ModelB(paper_params_b).threshold() > ModelA(paper_params_b).threshold()
+
+    def test_gap_bounded_by_inverse_cache_size(self):
+        """Paper §6 bullet 2: gap = h'/n(C) <= 1/n(C)."""
+        for n_c in (2.0, 5.0, 50.0):
+            for h in (0.0, 0.5, 0.9):
+                params = SystemParameters.paper_defaults(hit_ratio=h, cache_size=n_c)
+                gap = ModelB(params).threshold() - ModelA(params).threshold()
+                assert 0.0 <= gap <= 1.0 / n_c + 1e-15
+
+
+class TestImprovement:
+    def test_eq19_hand_value(self, paper_params_b):
+        # numerator: nF s (p b - f' lam s - b h'/n(C))
+        # = 0.5*(0.8*50 - 21 - 50*0.03) = 0.5*17.5
+        # denominator: (50-21)*(50 - 21 - 0.5*0.03*30 - 0.5*0.2*30)
+        # = 29*(29 - 0.45 - 3) = 29*25.55
+        g = improvement(paper_params_b, 0.5, 0.8)
+        assert g == pytest.approx(0.5 * 17.5 / (29 * 25.55))
+
+    def test_closed_form_matches_generic(self, paper_params_b):
+        m = ModelB(paper_params_b)
+        n_f = np.linspace(0.0, 1.2, 13)
+        for p in (0.2, 0.45, 0.7, 0.95):
+            closed = np.asarray(m.improvement_closed_form(n_f, p))
+            generic = np.asarray(m.improvement(n_f, p))
+            assert np.allclose(closed, generic, equal_nan=True, atol=1e-12)
+
+    def test_sign_from_eq21_threshold(self, paper_params_b):
+        m = ModelB(paper_params_b)
+        assert m.improvement_closed_form(0.5, 0.46) > 0
+        assert m.improvement_closed_form(0.5, 0.44) < 0
+        assert m.improvement_closed_form(0.5, 0.45) == pytest.approx(0.0, abs=1e-15)
+
+    def test_model_b_improvement_below_model_a(self, paper_params_b):
+        """Evicting valuable entries can only make prefetching worse."""
+        a = ModelA(paper_params_b)
+        b = ModelB(paper_params_b)
+        for p in (0.5, 0.7, 0.9):
+            assert float(np.asarray(b.improvement_closed_form(0.5, p))) < float(
+                np.asarray(a.improvement_closed_form(0.5, p))
+            )
+
+    def test_convergence_to_model_a_as_cache_grows(self):
+        """Paper §6 bullet 3: models agree when n(C) >> n(F)."""
+        gaps = []
+        for n_c in (5.0, 50.0, 500.0, 5000.0):
+            params = SystemParameters.paper_defaults(hit_ratio=0.3, cache_size=n_c)
+            g_a = float(np.asarray(ModelA(params).improvement_closed_form(0.5, 0.8)))
+            g_b = float(np.asarray(ModelB(params).improvement_closed_form(0.5, 0.8)))
+            gaps.append(abs(g_a - g_b))
+        assert gaps == sorted(gaps, reverse=True)
+        assert gaps[-1] < 1e-5
+
+
+class TestLimits:
+    def test_n_f_limit_eq_condition_20_3(self, paper_params_b):
+        m = ModelB(paper_params_b)
+        # headroom/(lam s (h'/nC + 1-p)) = 29/(30*(0.03+0.2))
+        assert m.n_f_limit(0.8) == pytest.approx(29.0 / (30.0 * 0.23))
+
+    def test_redundancy_of_condition3(self, paper_params_b):
+        """Paper eq. (22): n_f limit exceeds max(np) when p > p_th."""
+        m = ModelB(paper_params_b)
+        for p in np.linspace(m.threshold() + 0.01, 0.99, 15):
+            assert float(m.n_f_limit(p)) > float(m.max_np(p)) - 1e-9
+
+    def test_unstable_nan(self, paper_params_b):
+        m = ModelB(paper_params_b)
+        assert math.isnan(float(np.asarray(m.improvement_closed_form(5.0, 0.2))))

@@ -1,0 +1,75 @@
+"""Tests for the no-prefetch baseline (eqs. 4, 5, 26)."""
+
+import math
+
+import pytest
+
+from repro.core import no_prefetch
+from repro.core.parameters import SystemParameters
+from repro.errors import StabilityError
+
+
+class TestEquations:
+    def test_eq5_paper_point(self, paper_params):
+        # t' = f' s / (b - f' lam s) = 1/(50-30)
+        assert no_prefetch.access_time(paper_params) == pytest.approx(1.0 / 20.0)
+
+    def test_eq5_with_hits(self, paper_params_h03):
+        # f'=0.7: t' = 0.7/(50-21)
+        assert no_prefetch.access_time(paper_params_h03) == pytest.approx(0.7 / 29.0)
+
+    def test_eq4_relates_to_eq5(self, paper_params_h03):
+        r = no_prefetch.retrieval_time(paper_params_h03)
+        t = no_prefetch.access_time(paper_params_h03)
+        assert t == pytest.approx(paper_params_h03.fault_ratio * r)
+
+    def test_eq4_value(self, paper_params_h03):
+        # r' = s/(b(1-rho')) with rho'=0.42
+        assert no_prefetch.retrieval_time(paper_params_h03) == pytest.approx(
+            1.0 / (50.0 * 0.58)
+        )
+
+    def test_eq26_value(self, paper_params_h03):
+        # R' = rho'/(lam (1-rho')) = 0.42/(30*0.58)
+        assert no_prefetch.retrieval_time_per_request(
+            paper_params_h03
+        ) == pytest.approx(0.42 / (30 * 0.58))
+
+    def test_eq26_equals_fault_rate_times_retrieval(self, paper_params_h03):
+        # R' = n'(R) r' with n'(R) = f'
+        r = no_prefetch.retrieval_time(paper_params_h03)
+        assert no_prefetch.retrieval_time_per_request(
+            paper_params_h03
+        ) == pytest.approx(paper_params_h03.fault_ratio * r)
+
+
+class TestInstability:
+    @pytest.fixture
+    def saturated(self):
+        return SystemParameters(bandwidth=20, request_rate=30, mean_item_size=1)
+
+    def test_nan_by_default(self, saturated):
+        assert math.isnan(no_prefetch.access_time(saturated))
+        assert math.isnan(no_prefetch.retrieval_time(saturated))
+        assert math.isnan(no_prefetch.retrieval_time_per_request(saturated))
+
+    def test_raise_policy(self, saturated):
+        with pytest.raises(StabilityError):
+            no_prefetch.access_time(saturated, on_unstable="raise")
+
+
+class TestVectorisedUtilization:
+    def test_overrides_broadcast(self, paper_params):
+        import numpy as np
+
+        rho = no_prefetch.base_utilization(
+            paper_params,
+            hit_ratio=np.array([0.0, 0.5]),
+            bandwidth=np.array([[50.0], [100.0]]),
+        )
+        assert rho.shape == (2, 2)
+        assert rho[0, 0] == pytest.approx(0.6)
+        assert rho[1, 1] == pytest.approx(0.15)
+
+    def test_scalar_path(self, paper_params):
+        assert no_prefetch.base_utilization(paper_params) == pytest.approx(0.6)

@@ -1,0 +1,101 @@
+"""Tests for the heterogeneous prefetch-set optimiser."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import (
+    exhaustive_set,
+    greedy_set,
+    improvement_for_set,
+    threshold_set,
+)
+from repro.core.parameters import SystemParameters
+from repro.errors import ParameterError
+
+
+class TestImprovementForSet:
+    def test_empty_set_zero(self, paper_params_h03):
+        assert improvement_for_set(paper_params_h03, [0.7, 0.8], []) == 0.0
+
+    def test_homogeneous_matches_model_a(self, paper_params_h03):
+        """A uniform-p set reproduces eq. (11) with n_f = |S|."""
+        from repro.core.model_a import improvement as model_a_G
+
+        p = 0.65  # single item: mass 0.65 <= f' = 0.7, stable at n_f = 1
+        g_set = improvement_for_set(paper_params_h03, [p], [0])
+        g_formula = float(np.asarray(model_a_G(paper_params_h03, 1.0, p)))
+        assert g_set == pytest.approx(g_formula)
+        # And a two-item low-load case exercising n_f = 2.
+        params = SystemParameters(bandwidth=200, request_rate=30, mean_item_size=1)
+        g_set2 = improvement_for_set(params, [0.4, 0.4], [0, 1])
+        g_formula2 = float(np.asarray(model_a_G(params, 2.0, 0.4)))
+        assert g_set2 == pytest.approx(g_formula2)
+
+    def test_rejects_mass_above_fault_ratio(self, paper_params_h03):
+        # f' = 0.7; mass 0.8 violates eq. (6)
+        with pytest.raises(ParameterError):
+            improvement_for_set(paper_params_h03, [0.5, 0.3], [0, 1])
+
+    def test_rejects_bad_probs(self, paper_params_h03):
+        with pytest.raises(ParameterError):
+            improvement_for_set(paper_params_h03, [1.2])
+        with pytest.raises(ParameterError):
+            improvement_for_set(paper_params_h03, [-0.1])
+
+    def test_rejects_out_of_range_indices(self, paper_params_h03):
+        with pytest.raises(ParameterError):
+            improvement_for_set(paper_params_h03, [0.5], [3])
+
+
+class TestSolvers:
+    def test_threshold_set_selects_above_rho_prime(self):
+        # Low-load point: b=200, h'=0 -> p_th = 30/200 = 0.15, f' = 1
+        params = SystemParameters(bandwidth=200, request_rate=30, mean_item_size=1)
+        plan = threshold_set(params, [0.1, 0.5, 0.3, 0.14])
+        assert set(plan.selected) == {1, 2}
+        assert plan.improvement > 0
+
+    def test_threshold_set_respects_mass_cap(self, paper_params_h03):
+        # p_th = 0.42, f' = 0.7: both candidates qualify but only the
+        # larger one fits the eq. (6) mass budget.
+        plan = threshold_set(paper_params_h03, [0.5, 0.43])
+        assert plan.selected == (0,)
+
+    def test_threshold_set_empty_below_threshold(self, paper_params_h03):
+        plan = threshold_set(paper_params_h03, [0.1, 0.2])
+        assert plan.selected == ()
+        assert plan.improvement == 0.0
+
+    def test_greedy_never_worse_than_threshold(self, paper_params_h03):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            probs = list(rng.uniform(0.05, 0.65, size=5) * 0.9)
+            g = greedy_set(paper_params_h03, probs)
+            t = threshold_set(paper_params_h03, probs)
+            assert g.improvement >= t.improvement - 1e-12
+
+    def test_exhaustive_at_least_greedy(self, paper_params_h03):
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            probs = list(rng.uniform(0.05, 0.65, size=5) * 0.9)
+            e = exhaustive_set(paper_params_h03, probs)
+            g = greedy_set(paper_params_h03, probs)
+            assert e.improvement >= g.improvement - 1e-12
+
+    def test_single_candidate_threshold_is_exact(self, paper_params_h03):
+        """For one candidate the paper's rule IS the discrete optimum."""
+        for p in (0.1, 0.41, 0.43, 0.6):
+            t = threshold_set(paper_params_h03, [p])
+            e = exhaustive_set(paper_params_h03, [p])
+            assert set(t.selected) == set(e.selected)
+
+    def test_exhaustive_guard(self, paper_params_h03):
+        with pytest.raises(ParameterError):
+            exhaustive_set(paper_params_h03, [0.1] * 25)
+
+    def test_plan_size_property(self):
+        params = SystemParameters(bandwidth=200, request_rate=30, mean_item_size=1)
+        plan = threshold_set(params, [0.5, 0.4])
+        assert plan.size == 2

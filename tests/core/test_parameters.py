@@ -1,0 +1,94 @@
+"""Unit tests for SystemParameters."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.errors import ParameterError
+
+
+class TestValidation:
+    def test_accepts_paper_defaults(self):
+        p = SystemParameters.paper_defaults()
+        assert p.bandwidth == 50.0
+        assert p.request_rate == 30.0
+        assert p.mean_item_size == 1.0
+        assert p.hit_ratio == 0.0
+
+    @pytest.mark.parametrize("bandwidth", [0.0, -1.0, math.nan, math.inf])
+    def test_rejects_bad_bandwidth(self, bandwidth):
+        with pytest.raises(ParameterError):
+            SystemParameters(bandwidth=bandwidth, request_rate=1, mean_item_size=1)
+
+    @pytest.mark.parametrize("rate", [0.0, -5.0, math.nan])
+    def test_rejects_bad_rate(self, rate):
+        with pytest.raises(ParameterError):
+            SystemParameters(bandwidth=1, request_rate=rate, mean_item_size=1)
+
+    @pytest.mark.parametrize("size", [0.0, -0.1])
+    def test_rejects_bad_size(self, size):
+        with pytest.raises(ParameterError):
+            SystemParameters(bandwidth=1, request_rate=1, mean_item_size=size)
+
+    @pytest.mark.parametrize("h", [-0.1, 1.0, 1.5])
+    def test_rejects_bad_hit_ratio(self, h):
+        with pytest.raises(ParameterError):
+            SystemParameters(bandwidth=1, request_rate=1, mean_item_size=1, hit_ratio=h)
+
+    @pytest.mark.parametrize("n_c", [0.0, -3.0])
+    def test_rejects_bad_cache_size(self, n_c):
+        with pytest.raises(ParameterError):
+            SystemParameters(
+                bandwidth=1, request_rate=1, mean_item_size=1, cache_size=n_c
+            )
+
+    def test_cache_size_none_is_allowed(self):
+        p = SystemParameters(bandwidth=1, request_rate=1, mean_item_size=1)
+        assert p.cache_size is None
+
+
+class TestDerivedQuantities:
+    def test_fault_ratio_complements_hit_ratio(self):
+        p = SystemParameters.paper_defaults(hit_ratio=0.3)
+        assert p.fault_ratio == pytest.approx(0.7)
+
+    def test_service_time_is_eq3(self, paper_params):
+        assert paper_params.service_time == pytest.approx(1.0 / 50.0)
+
+    def test_base_utilization_is_rho_prime(self, paper_params_h03):
+        # rho' = f' lam s / b = 0.7*30*1/50
+        assert paper_params_h03.base_utilization == pytest.approx(0.42)
+
+    def test_demand_rate(self, paper_params_h03):
+        assert paper_params_h03.demand_rate == pytest.approx(21.0)
+
+    def test_stability_flag(self):
+        stable = SystemParameters(bandwidth=50, request_rate=30, mean_item_size=1)
+        assert stable.is_stable  # rho' = 0.6
+        saturated = SystemParameters(bandwidth=20, request_rate=30, mean_item_size=1)
+        assert not saturated.is_stable  # rho' = 1.5
+
+    def test_capacity_headroom_sign_matches_stability(self):
+        p = SystemParameters(bandwidth=20, request_rate=30, mean_item_size=1)
+        assert p.capacity_headroom < 0
+        q = SystemParameters(bandwidth=50, request_rate=30, mean_item_size=1)
+        assert q.capacity_headroom == pytest.approx(20.0)
+
+
+class TestHelpers:
+    def test_with_returns_validated_copy(self, paper_params):
+        q = paper_params.with_(hit_ratio=0.25)
+        assert q.hit_ratio == 0.25
+        assert paper_params.hit_ratio == 0.0  # original untouched
+        with pytest.raises(ParameterError):
+            paper_params.with_(bandwidth=-1)
+
+    def test_require_cache_size(self, paper_params, paper_params_b):
+        assert paper_params_b.require_cache_size() == 10.0
+        with pytest.raises(ParameterError):
+            paper_params.require_cache_size()
+
+    def test_frozen(self, paper_params):
+        with pytest.raises(Exception):
+            paper_params.bandwidth = 99  # type: ignore[misc]

@@ -1,0 +1,106 @@
+"""Unit and property tests for the M/G/1-PS primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.queueing import (
+    max_stable_rate,
+    ps_mean_jobs,
+    ps_response_time,
+    ps_slowdown,
+    resolve_unstable,
+    stability_mask,
+    utilization,
+)
+from repro.errors import StabilityError
+
+
+class TestResponseTime:
+    def test_idle_server_gives_bare_service_time(self):
+        assert ps_response_time(2.0, 0.0) == pytest.approx(2.0)
+
+    def test_eq2_at_half_load(self):
+        assert ps_response_time(1.0, 0.5) == pytest.approx(2.0)
+
+    def test_vectorised(self):
+        r = ps_response_time(1.0, np.array([0.0, 0.5, 0.9]))
+        assert np.allclose(r, [1.0, 2.0, 10.0])
+
+    def test_unstable_nan_default(self):
+        assert math.isnan(ps_response_time(1.0, 1.0))
+        assert math.isnan(ps_response_time(1.0, 1.5))
+
+    def test_unstable_inf_policy(self):
+        assert ps_response_time(1.0, 1.0, on_unstable="inf") == math.inf
+
+    def test_unstable_raise_policy(self):
+        with pytest.raises(StabilityError):
+            ps_response_time(1.0, 1.2, on_unstable="raise")
+
+    def test_bad_policy_name(self):
+        with pytest.raises(ValueError):
+            ps_response_time(1.0, 0.5, on_unstable="explode")  # type: ignore[arg-type]
+
+    @given(
+        x=st.floats(min_value=1e-6, max_value=1e3),
+        rho=st.floats(min_value=0.0, max_value=0.999),
+    )
+    def test_response_time_at_least_service_time(self, x, rho):
+        assert ps_response_time(x, rho) >= x
+
+    @given(rho=st.floats(min_value=0.0, max_value=0.99))
+    def test_monotone_in_load(self, rho):
+        assert ps_response_time(1.0, rho + 0.005) > ps_response_time(1.0, rho)
+
+
+class TestSlowdownAndJobs:
+    def test_slowdown_matches_response_ratio(self):
+        assert ps_slowdown(0.75) == pytest.approx(4.0)
+
+    def test_mean_jobs_little_consistency(self):
+        # N = rho/(1-rho) must equal lambda * E[T] with E[T]=x/(1-rho),
+        # lambda = rho/x (Little's law cross-check).
+        rho, x = 0.6, 0.2
+        lam = rho / x
+        assert ps_mean_jobs(rho) == pytest.approx(lam * ps_response_time(x, rho))
+
+    def test_mean_jobs_zero_when_idle(self):
+        assert ps_mean_jobs(0.0) == 0.0
+
+
+class TestUtilization:
+    def test_scalar(self):
+        assert utilization(30.0, 1.0 / 50.0) == pytest.approx(0.6)
+
+    def test_broadcast(self):
+        rho = utilization(np.array([10.0, 20.0]), 0.01)
+        assert np.allclose(rho, [0.1, 0.2])
+
+    def test_max_stable_rate_inverts_service_time(self):
+        assert max_stable_rate(0.02) == pytest.approx(50.0)
+
+
+class TestResolveUnstable:
+    def test_scalar_passthrough_when_stable(self):
+        out = resolve_unstable(np.asarray(3.0), np.asarray(True), "nan")
+        assert isinstance(out, float) and out == 3.0
+
+    def test_array_fill(self):
+        vals = np.array([1.0, 2.0, 3.0])
+        stable = np.array([True, False, True])
+        out = resolve_unstable(vals, stable, "nan")
+        assert np.isnan(out[1]) and out[0] == 1.0 and out[2] == 3.0
+
+    def test_raise_reports_counts(self):
+        with pytest.raises(StabilityError, match="2 of 3"):
+            resolve_unstable(
+                np.zeros(3), np.array([True, False, False]), "raise"
+            )
+
+    def test_stability_mask(self):
+        mask = stability_mask(np.array([-0.1, 0.0, 0.5, 1.0, 2.0]))
+        assert mask.tolist() == [False, True, True, False, False]

@@ -1,0 +1,95 @@
+"""Tests for the vectorised figure sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_a import ModelA
+from repro.core.model_b import ModelB
+from repro.core.sweeps import (
+    excess_cost_vs_prefetch_count,
+    improvement_vs_load,
+    improvement_vs_prefetch_count,
+    threshold_vs_size,
+)
+
+
+class TestThresholdVsSize:
+    def test_figure1_structure(self, paper_params):
+        sweep = threshold_vs_size(
+            paper_params,
+            sizes=np.linspace(0, 10, 11),
+            bandwidths=[50, 100, 450],
+        )
+        assert len(sweep) == 3
+        assert sweep.labels == ("b = 50", "b = 100", "b = 450")
+        assert sweep.get("b = 450").y_at(10.0) == pytest.approx(300 / 450)
+
+    def test_curves_linear_through_origin(self, paper_params):
+        sweep = threshold_vs_size(
+            paper_params, sizes=np.linspace(0, 10, 21), bandwidths=[100]
+        )
+        s = sweep.get("b = 100")
+        assert s.y[0] == 0.0
+        slopes = np.diff(s.y) / np.diff(s.x)
+        assert np.allclose(slopes, slopes[0])
+
+    def test_h_prime_panel_is_scaled(self, paper_params, paper_params_h03):
+        a = threshold_vs_size(paper_params, sizes=[2.0], bandwidths=[50])
+        b = threshold_vs_size(paper_params_h03, sizes=[2.0], bandwidths=[50])
+        assert b.get("b = 50").y[0] == pytest.approx(0.7 * a.get("b = 50").y[0])
+
+
+class TestImprovementSweep:
+    def test_figure2_structure(self, paper_params):
+        model = ModelA(paper_params)
+        sweep = improvement_vs_prefetch_count(
+            model, n_f_grid=np.linspace(0, 2, 21), probabilities=[0.1, 0.6, 0.9]
+        )
+        assert sweep.labels == ("p = 0.1", "p = 0.6", "p = 0.9")
+        assert sweep.x_label == "n(F)"
+
+    def test_generic_and_closed_agree(self, paper_params_h03):
+        model = ModelA(paper_params_h03)
+        kwargs = dict(n_f_grid=np.linspace(0, 1.5, 16), probabilities=[0.3, 0.8])
+        a = improvement_vs_prefetch_count(model, closed_form=True, **kwargs)
+        b = improvement_vs_prefetch_count(model, closed_form=False, **kwargs)
+        for label in a.labels:
+            assert np.allclose(
+                a.get(label).y, b.get(label).y, equal_nan=True, atol=1e-12
+            )
+
+    def test_model_b_sweep(self, paper_params_b):
+        model = ModelB(paper_params_b)
+        sweep = improvement_vs_prefetch_count(
+            model, n_f_grid=np.linspace(0, 1, 11), probabilities=[0.5]
+        )
+        assert sweep.params["model"] == "B"
+
+
+class TestExcessCostSweep:
+    def test_figure3_structure(self, paper_params):
+        model = ModelA(paper_params)
+        sweep = excess_cost_vs_prefetch_count(
+            model, n_f_grid=np.linspace(0, 2, 21), probabilities=[0.1, 0.9]
+        )
+        low_p = sweep.get("p = 0.1").finite()
+        high_p = sweep.get("p = 0.9").finite()
+        # all costs nonnegative, and at the same n(F) low p costs more
+        assert np.all(low_p.y >= 0) and np.all(high_p.y >= 0)
+        assert low_p.y_at(0.4) > high_p.y_at(0.4)
+
+    def test_starts_at_zero(self, paper_params):
+        model = ModelA(paper_params)
+        sweep = excess_cost_vs_prefetch_count(
+            model, n_f_grid=[0.0, 0.5], probabilities=[0.5]
+        )
+        assert sweep.get("p = 0.5").y[0] == pytest.approx(0.0)
+
+
+class TestLoadSweep:
+    def test_g_decreases_then_cost_increases_with_lambda(self, paper_params):
+        sweep = improvement_vs_load(
+            paper_params, request_rates=np.linspace(5, 45, 9), n_f=0.25, p=0.9
+        )
+        c = sweep.get("C").finite()
+        assert np.all(np.diff(c.y) > 0)  # load impedance: cost rises with load

@@ -1,0 +1,99 @@
+"""Tests for threshold computation and item selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import (
+    select_items,
+    should_prefetch,
+    threshold_model_a,
+    threshold_model_b,
+    threshold_sweep,
+)
+from repro.errors import ParameterError
+
+
+class TestThresholdFunctions:
+    def test_model_a_scalar(self):
+        assert threshold_model_a(
+            bandwidth=50, request_rate=30, mean_item_size=1, hit_ratio=0.0
+        ) == pytest.approx(0.6)
+
+    def test_model_a_broadcast_matches_figure1_cell(self):
+        # Figure 1 (h'=0): at s=5, b=250 -> p_th = 30*5/250 = 0.6
+        grid = threshold_model_a(
+            bandwidth=np.array([[50.0], [250.0]]),
+            request_rate=30.0,
+            mean_item_size=np.array([1.0, 5.0]),
+            hit_ratio=0.0,
+        )
+        assert grid[1, 1] == pytest.approx(0.6)
+        assert grid[0, 0] == pytest.approx(0.6)
+
+    def test_model_b_adds_cache_term(self):
+        a = threshold_model_a(
+            bandwidth=50, request_rate=30, mean_item_size=1, hit_ratio=0.3
+        )
+        b = threshold_model_b(
+            bandwidth=50, request_rate=30, mean_item_size=1, hit_ratio=0.3,
+            cache_size=10,
+        )
+        assert b == pytest.approx(a + 0.03)
+
+    def test_model_b_rejects_bad_cache(self):
+        with pytest.raises(ParameterError):
+            threshold_model_b(
+                bandwidth=50, request_rate=30, mean_item_size=1, hit_ratio=0.3,
+                cache_size=0,
+            )
+
+    def test_sweep_shape_and_values(self, paper_params):
+        grid = threshold_sweep(
+            paper_params, sizes=[1.0, 2.0], bandwidths=[50.0, 100.0, 150.0]
+        )
+        assert grid.shape == (3, 2)
+        assert grid[0, 1] == pytest.approx(1.2)  # b=50, s=2
+
+    def test_sweep_model_b(self, paper_params_b):
+        grid = threshold_sweep(
+            paper_params_b, sizes=[1.0], bandwidths=[50.0], model="B"
+        )
+        assert grid[0, 0] == pytest.approx(0.45)
+
+    def test_sweep_unknown_model(self, paper_params):
+        with pytest.raises(ParameterError):
+            threshold_sweep(paper_params, sizes=[1.0], bandwidths=[50.0], model="Z")
+
+
+class TestDecision:
+    def test_strict_inequality_default(self):
+        assert not should_prefetch(0.6, 0.6)
+        assert should_prefetch(0.6, 0.6, strict=False)
+        assert should_prefetch(0.61, 0.6)
+
+    def test_vectorised(self):
+        out = should_prefetch(np.array([0.1, 0.7]), 0.6)
+        assert out.tolist() == [False, True]
+
+
+class TestSelectItems:
+    def test_selects_above_threshold_sorted(self):
+        chosen = select_items(
+            [("a", 0.3), ("b", 0.9), ("c", 0.7), ("d", 0.6)], p_th=0.6
+        )
+        assert chosen == [("b", 0.9), ("c", 0.7)]
+
+    def test_budget_truncates(self):
+        chosen = select_items([("a", 0.9), ("b", 0.8), ("c", 0.7)], 0.5, budget=2)
+        assert [i for i, _ in chosen] == ["a", "b"]
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ParameterError):
+            select_items([("a", 0.9)], 0.5, budget=-1)
+
+    def test_empty_when_all_below(self):
+        assert select_items([("a", 0.1)], 0.6) == []
+
+    def test_deterministic_tie_order(self):
+        chosen = select_items([("b", 0.8), ("a", 0.8)], 0.5)
+        assert [i for i, _ in chosen] == ["a", "b"]

@@ -1,0 +1,215 @@
+"""Tests for the DES event loop and process semantics."""
+
+import pytest
+
+from repro.des import Environment, Interrupt
+from repro.errors import SimulationError
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_start(self):
+        assert Environment(10.0).now == 10.0
+
+    def test_run_until_sets_clock_exactly(self):
+        env = Environment()
+        env.run(until=42.0)
+        assert env.now == 42.0
+
+    def test_run_into_past_rejected(self):
+        env = Environment(5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_peek_empty_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+
+class TestTimeoutOrdering:
+    def test_timeouts_fire_in_order(self):
+        env = Environment()
+        log = []
+
+        def proc(env, delay, tag):
+            yield env.timeout(delay)
+            log.append((env.now, tag))
+
+        env.process(proc(env, 3.0, "c"))
+        env.process(proc(env, 1.0, "a"))
+        env.process(proc(env, 2.0, "b"))
+        env.run()
+        assert log == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+    def test_fifo_within_same_time(self):
+        env = Environment()
+        log = []
+
+        def proc(env, tag):
+            yield env.timeout(1.0)
+            log.append(tag)
+
+        for tag in "abcd":
+            env.process(proc(env, tag))
+        env.run()
+        assert log == list("abcd")
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+
+class TestProcessSemantics:
+    def test_return_value_via_run(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        assert env.run(env.process(proc(env))) == "done"
+
+    def test_process_waits_for_process(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(2.0)
+            return 21
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return value * 2
+
+        assert env.run(env.process(parent(env))) == 42
+
+    def test_timeout_value_passed_into_process(self):
+        env = Environment()
+
+        def proc(env):
+            value = yield env.timeout(1.0, value="hello")
+            return value
+
+        assert env.run(env.process(proc(env))) == "hello"
+
+    def test_crashing_process_propagates_via_run(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            env.run(env.process(proc(env)))
+
+    def test_unwaited_crash_surfaces_in_run(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            raise ValueError("lost")
+
+        env.process(proc(env))
+        with pytest.raises(ValueError, match="lost"):
+            env.run()
+
+    def test_yielding_non_event_raises(self):
+        env = Environment()
+
+        def proc(env):
+            yield 42
+
+        env.process(proc(env))
+        with pytest.raises(SimulationError, match="must yield Event"):
+            env.run()
+
+    def test_process_requires_generator(self):
+        env = Environment()
+
+        def not_a_generator(env):
+            return 1
+
+        with pytest.raises(TypeError):
+            env.process(not_a_generator(env))  # type: ignore[arg-type]
+
+    def test_yield_already_processed_event_resumes_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            t = env.timeout(1.0, value="v")
+            yield env.timeout(5.0)  # t processes meanwhile
+            value = yield t  # already processed
+            return (env.now, value)
+
+        assert env.run(env.process(proc(env))) == (5.0, "v")
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+
+        def victim(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as interrupt:
+                return ("interrupted", env.now, interrupt.cause)
+
+        def attacker(env, target):
+            yield env.timeout(2.0)
+            target.interrupt(cause="reason")
+
+        target = env.process(victim(env))
+        env.process(attacker(env, target))
+        assert env.run(target) == ("interrupted", 2.0, "reason")
+
+    def test_interrupted_process_can_rewait(self):
+        env = Environment()
+
+        def victim(env):
+            timer = env.timeout(10.0)
+            try:
+                yield timer
+            except Interrupt:
+                pass
+            yield timer  # original event still valid
+            return env.now
+
+        def attacker(env, target):
+            yield env.timeout(2.0)
+            target.interrupt()
+
+        target = env.process(victim(env))
+        env.process(attacker(env, target))
+        assert env.run(target) == 10.0
+
+    def test_cannot_interrupt_dead_process(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1.0)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self):
+        env = Environment()
+        ev = env.event()
+
+        def trigger(env, ev):
+            yield env.timeout(3.0)
+            ev.succeed("payload")
+
+        env.process(trigger(env, ev))
+        assert env.run(until=ev) == "payload"
+        assert env.now == 3.0
+
+    def test_queue_exhausted_before_event(self):
+        env = Environment()
+        ev = env.event()
+        with pytest.raises(SimulationError, match="exhausted"):
+            env.run(until=ev)

@@ -1,0 +1,176 @@
+"""Tests for Resource, PriorityResource, Store and Container."""
+
+import pytest
+
+from repro.des import Container, Environment, PriorityResource, Resource, Store
+from repro.errors import SimulationError
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        log = []
+
+        def user(env, res, tag, hold):
+            with res.request() as req:
+                yield req
+                log.append((env.now, tag, "in"))
+                yield env.timeout(hold)
+            log.append((env.now, tag, "out"))
+
+        for i, hold in enumerate([3.0, 3.0, 1.0]):
+            env.process(user(env, res, i, hold))
+        env.run()
+        # third user enters only after a slot frees at t=3
+        assert (0.0, 0, "in") in log and (0.0, 1, "in") in log
+        assert (3.0, 2, "in") in log
+
+    def test_fifo_grant_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(env, res, tag):
+            with res.request() as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(1.0)
+
+        for tag in range(4):
+            env.process(user(env, res, tag))
+        env.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_release_of_queued_request_cancels_it(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        held = res.request()
+        assert held.triggered
+        waiting = res.request()
+        assert not waiting.triggered
+        res.release(waiting)  # cancel while queued
+        res.release(held)
+        assert res.count == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+
+class TestPriorityResource:
+    def test_lower_priority_number_first(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env, res):
+            req = res.request(priority=0)
+            yield req
+            yield env.timeout(5.0)
+            res.release(req)
+
+        def user(env, res, prio, tag):
+            yield env.timeout(1.0)  # queue up while held
+            req = res.request(priority=prio)
+            yield req
+            order.append(tag)
+            res.release(req)
+
+        env.process(holder(env, res))
+        env.process(user(env, res, 5, "low"))
+        env.process(user(env, res, 1, "high"))
+        env.run()
+        assert order == ["high", "low"]
+
+
+class TestStore:
+    def test_fifo_items(self):
+        env = Environment()
+        store = Store(env)
+
+        def producer(env, store):
+            for i in range(3):
+                yield env.timeout(1.0)
+                yield store.put(i)
+
+        def consumer(env, store):
+            got = []
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+            return got
+
+        env.process(producer(env, store))
+        assert env.run(env.process(consumer(env, store))) == [0, 1, 2]
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+
+        def producer(env, store, log):
+            yield store.put("a")
+            log.append(("a", env.now))
+            yield store.put("b")
+            log.append(("b", env.now))
+
+        def consumer(env, store):
+            yield env.timeout(5.0)
+            yield store.get()
+
+        log = []
+        env.process(producer(env, store, log))
+        env.process(consumer(env, store))
+        env.run()
+        assert log == [("a", 0.0), ("b", 5.0)]
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+        assert len(store) == 1
+
+
+class TestContainer:
+    def test_get_blocks_until_level(self):
+        env = Environment()
+        tank = Container(env, capacity=10, init=0)
+
+        def filler(env, tank):
+            yield env.timeout(2.0)
+            yield tank.put(5)
+
+        def drainer(env, tank):
+            yield tank.get(3)
+            return env.now
+
+        env.process(filler(env, tank))
+        assert env.run(env.process(drainer(env, tank))) == 2.0
+        assert tank.level == pytest.approx(2.0)
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        tank = Container(env, capacity=4, init=4)
+
+        def putter(env, tank):
+            yield tank.put(2)
+            return env.now
+
+        def getter(env, tank):
+            yield env.timeout(3.0)
+            yield tank.get(2)
+
+        env.process(getter(env, tank))
+        assert env.run(env.process(putter(env, tank))) == 3.0
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Container(env, capacity=0)
+        with pytest.raises(SimulationError):
+            Container(env, capacity=1, init=2)
+        tank = Container(env, capacity=1)
+        with pytest.raises(SimulationError):
+            tank.get(0)
+        with pytest.raises(SimulationError):
+            tank.put(-1)

@@ -1,0 +1,131 @@
+"""Tests for the shared link and origin server."""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment
+from repro.errors import ParameterError
+from repro.network import FetchKind, OriginServer, SharedLink
+from repro.workload.sizes import ExponentialSize
+
+
+class TestSharedLink:
+    def test_single_fetch_timing(self):
+        env = Environment()
+        link = SharedLink(env, bandwidth=10.0)
+
+        def proc(env):
+            result = yield link.fetch(item="x", size=5.0, kind="demand", client=0)
+            return result.retrieval_time
+
+        assert env.run(env.process(proc(env))) == pytest.approx(0.5)
+
+    def test_concurrent_fetches_share_bandwidth(self):
+        env = Environment()
+        link = SharedLink(env, bandwidth=10.0)
+        times = []
+
+        def proc(env):
+            result = yield link.fetch(item="x", size=5.0, kind="demand", client=0)
+            times.append(result.retrieval_time)
+
+        env.process(proc(env))
+        env.process(proc(env))
+        env.run()
+        assert times == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_per_kind_accounting(self):
+        env = Environment()
+        link = SharedLink(env, bandwidth=10.0)
+
+        def proc(env):
+            yield link.fetch(item="a", size=2.0, kind="demand", client=0)
+            yield link.fetch(item="b", size=3.0, kind="prefetch", client=0)
+
+        env.process(proc(env))
+        env.run()
+        assert link.demand_bytes == 2.0 and link.prefetch_bytes == 3.0
+        assert link.demand_fetches == 1 and link.prefetch_fetches == 1
+        assert link.demand_retrieval.count == 1
+        assert link.prefetch_retrieval.count == 1
+
+    def test_offered_load(self):
+        env = Environment()
+        link = SharedLink(env, bandwidth=10.0)
+
+        def proc(env):
+            yield link.fetch(item="a", size=5.0, kind="demand", client=0)
+            yield env.timeout(0.5)
+
+        env.process(proc(env))
+        env.run()
+        assert link.offered_load() == pytest.approx(5.0 / (10.0 * 1.0))
+
+    def test_fetch_result_metadata(self):
+        env = Environment()
+        link = SharedLink(env, bandwidth=1.0)
+        results = []
+
+        def proc(env):
+            r = yield link.fetch(item="it", size=1.0, kind="prefetch", client=7)
+            results.append(r)
+
+        env.process(proc(env))
+        env.run()
+        r = results[0]
+        assert r.request.item == "it"
+        assert r.request.client == 7
+        assert r.request.kind is FetchKind.PREFETCH
+        assert r.completed_at == pytest.approx(1.0)
+
+
+class TestOriginServer:
+    def test_static_size_map(self):
+        env = Environment()
+        link = SharedLink(env, bandwidth=10.0)
+        origin = OriginServer(link, {"a": 2.0, "b": 4.0})
+        assert origin.size_of("a") == 2.0
+        with pytest.raises(ParameterError):
+            origin.size_of("unknown")
+
+    def test_rejects_nonpositive_sizes(self):
+        env = Environment()
+        link = SharedLink(env, bandwidth=10.0)
+        with pytest.raises(ParameterError):
+            OriginServer(link, {"a": 0.0})
+
+    def test_distribution_sizes_are_stable(self):
+        env = Environment()
+        link = SharedLink(env, bandwidth=10.0)
+        origin = OriginServer(
+            link, ExponentialSize(1.0), rng=np.random.default_rng(0)
+        )
+        first = origin.size_of(42)
+        assert origin.size_of(42) == first  # frozen after first sample
+
+    def test_distribution_requires_rng(self):
+        env = Environment()
+        link = SharedLink(env, bandwidth=10.0)
+        with pytest.raises(ParameterError):
+            OriginServer(link, ExponentialSize(1.0))
+
+    def test_fetch_counts_by_kind(self):
+        env = Environment()
+        link = SharedLink(env, bandwidth=10.0)
+        origin = OriginServer(link, {"a": 1.0})
+
+        def proc(env):
+            yield origin.fetch("a", kind="demand", client=0)
+            yield origin.fetch("a", kind="prefetch", client=0)
+
+        env.process(proc(env))
+        env.run()
+        assert origin.demand_count["a"] == 1
+        assert origin.prefetch_count["a"] == 1
+
+    def test_mean_known_size(self):
+        env = Environment()
+        link = SharedLink(env, bandwidth=10.0)
+        origin = OriginServer(link, {"a": 2.0, "b": 4.0})
+        origin.size_of("a"), origin.size_of("b")
+        assert origin.mean_known_size == pytest.approx(3.0)

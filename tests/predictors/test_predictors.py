@@ -1,0 +1,196 @@
+"""Tests for all access-model predictors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.predictors import (
+    DependencyGraphPredictor,
+    DistributionOracle,
+    FrequencyPredictor,
+    MarkovPredictor,
+    OraclePredictor,
+    PPMPredictor,
+)
+
+
+class TestMarkov:
+    def test_learns_deterministic_chain(self):
+        p = MarkovPredictor(order=1)
+        p.warm_up(["a", "b", "a", "b", "a", "b", "a"])
+        top = p.predict(limit=1)
+        assert top[0][0] == "b"
+        assert top[0][1] == pytest.approx(1.0)
+
+    def test_probability_point_query(self):
+        p = MarkovPredictor(order=1)
+        p.warm_up(["a", "b", "a", "c", "a", "b", "a"])  # after a: b,c,b
+        assert p.probability("b") == pytest.approx(2.0 / 3.0)
+        assert p.probability("zzz") == 0.0
+
+    def test_backoff_to_popularity(self):
+        p = MarkovPredictor(order=2)
+        p.warm_up(["x", "x", "x", "y"])
+        # context ('x','y') unseen at order 2 and ('y',) unseen at order 1:
+        # falls back to popularity where x dominates
+        assert p.predict(limit=1)[0][0] == "x"
+
+    def test_order_zero_is_popularity(self):
+        p = MarkovPredictor(order=0)
+        p.warm_up(["a", "a", "b"])
+        dist = dict(p.predict())
+        assert dist["a"] == pytest.approx(2.0 / 3.0)
+
+    def test_smoothing_spreads_mass(self):
+        sharp = MarkovPredictor(order=1)
+        smooth = MarkovPredictor(order=1, smoothing=1.0)
+        # After 'a': successors b (x2) and c (x1) -> smoothing flattens.
+        for pred in (sharp, smooth):
+            pred.warm_up(["a", "b", "a", "c", "a", "b", "a"])
+        assert smooth.predict()[0][1] < sharp.predict()[0][1]
+
+    def test_reset(self):
+        p = MarkovPredictor(order=1)
+        p.warm_up(["a", "b"])
+        p.reset()
+        assert p.predict() == []
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MarkovPredictor(order=-1)
+        with pytest.raises(ParameterError):
+            MarkovPredictor(smoothing=-0.5)
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=100))
+    def test_distribution_sums_to_at_most_one(self, history):
+        p = MarkovPredictor(order=1)
+        p.warm_up(history)
+        total = sum(prob for _, prob in p.predict())
+        assert total <= 1.0 + 1e-9
+
+
+class TestPPM:
+    def test_learns_cycle(self):
+        p = PPMPredictor(max_order=2)
+        p.warm_up(list("abcabcabcabc"))
+        assert p.predict(limit=1)[0][0] == "a"  # after ...bc comes a
+
+    def test_blending_is_subprobability(self):
+        p = PPMPredictor(max_order=3)
+        p.warm_up(list("abracadabra"))
+        total = sum(prob for _, prob in p.predict())
+        assert 0.0 < total <= 1.0 + 1e-9
+
+    def test_higher_order_beats_markov_on_structured_stream(self):
+        # Stream where first-order is ambiguous but second-order is exact:
+        # a b x | a c y | repeated: after 'a b' always x, after 'a c' always y.
+        stream = ["a", "b", "x", "a", "c", "y"] * 10
+        ppm = PPMPredictor(max_order=2)
+        ppm.warm_up(stream[:-1])  # last access is 'c'... construct ending
+        # position: stream ends with 'y'; trailing context is ('c','y')
+        # instead test a known context directly:
+        ppm2 = PPMPredictor(max_order=2)
+        ppm2.warm_up(["a", "b", "x"] * 8 + ["a", "b"])
+        assert ppm2.predict(limit=1)[0][0] == "x"
+
+    def test_vocabulary_tracking(self):
+        p = PPMPredictor(max_order=1)
+        p.warm_up(list("aabbcc"))
+        assert p.vocabulary_size == 3
+
+    def test_reset(self):
+        p = PPMPredictor(max_order=1)
+        p.warm_up(list("ab"))
+        p.reset()
+        assert p.predict() == []
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PPMPredictor(max_order=-2)
+
+
+class TestDependencyGraph:
+    def test_window_extends_reach(self):
+        # b follows a at distance 2: only window >= 2 sees it.
+        stream = ["a", "x", "b"] * 10
+        near = DependencyGraphPredictor(window=1)
+        far = DependencyGraphPredictor(window=2)
+        for pred in (near, far):
+            pred.warm_up(stream)
+            pred.record("a")
+        assert far.probability("b") > 0.0
+
+    def test_probability_normalised_by_source_count(self):
+        p = DependencyGraphPredictor(window=1)
+        p.warm_up(["a", "b", "a", "c"])
+        p.record("a")
+        # a seen 3 times (incl. the final record); a->b once, a->c once
+        assert p.probability("b") == pytest.approx(1.0 / 3.0)
+
+    def test_no_self_loops(self):
+        p = DependencyGraphPredictor(window=2)
+        p.warm_up(["a", "a", "a"])
+        assert p.predict() == []
+
+    def test_empty_before_data(self):
+        assert DependencyGraphPredictor().predict() == []
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DependencyGraphPredictor(window=0)
+
+
+class TestFrequency:
+    def test_plain_counting(self):
+        p = FrequencyPredictor()
+        p.warm_up(["a", "a", "a", "b"])
+        assert p.predict(limit=1)[0] == ("a", pytest.approx(0.75))
+
+    def test_decay_prefers_recent(self):
+        p = FrequencyPredictor(decay=0.5)
+        p.warm_up(["old"] * 5 + ["new"] * 2)
+        assert p.predict(limit=1)[0][0] == "new"
+
+    def test_decay_renormalisation_stays_finite(self):
+        p = FrequencyPredictor(decay=0.5)
+        for _ in range(200):  # forces the 1e12 renormalisation path
+            p.record("x")
+        assert p.predict()[0][1] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FrequencyPredictor(decay=0.0)
+        with pytest.raises(ParameterError):
+            FrequencyPredictor(decay=1.0001)
+
+
+class TestOracles:
+    def test_sequence_oracle_sees_future(self):
+        o = OraclePredictor(["a", "b", "c"], lookahead=2)
+        assert dict(o.predict()) == {"a": 1.0, "b": 1.0}
+        o.record("a")
+        assert dict(o.predict()) == {"b": 1.0, "c": 1.0}
+        assert o.remaining == 2
+
+    def test_out_of_sequence_access_does_not_advance(self):
+        o = OraclePredictor(["a", "b"])
+        o.record("zzz")
+        assert o.predict()[0][0] == "a"
+
+    def test_distribution_oracle_returns_truth(self):
+        d = DistributionOracle({"a": 0.5, "b": 0.3})
+        assert d.predict(limit=1)[0] == ("a", 0.5)
+        assert d.probability("b") == 0.3
+        d.record("anything")  # no-op
+        assert d.probability("a") == 0.5
+
+    def test_distribution_oracle_validation(self):
+        with pytest.raises(ParameterError):
+            DistributionOracle({"a": 0.9, "b": 0.2})
+        with pytest.raises(ParameterError):
+            DistributionOracle({"a": -0.1})
+        with pytest.raises(ParameterError):
+            OraclePredictor(["a"], lookahead=0)

@@ -1,0 +1,85 @@
+"""Integration tests: the analytic mirror reproduces the closed forms."""
+
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.errors import ConfigurationError
+from repro.sim import MirrorConfig, mirror_vs_theory, run_mirror
+from repro.workload.sizes import ParetoSize
+
+
+class TestMirrorBaseline:
+    def test_no_prefetch_matches_eq5(self, paper_params_h03):
+        cfg = MirrorConfig(
+            params=paper_params_h03, duration=1500.0, warmup=150.0, seed=1
+        )
+        metrics = run_mirror(cfg)
+        comparison = mirror_vs_theory(cfg, metrics)
+        assert comparison.access_time_error < 0.08
+        assert comparison.utilization_error < 0.04
+        assert comparison.retrieval_error < 0.08
+
+    def test_hit_ratio_matches_h(self, paper_params_h03):
+        cfg = MirrorConfig(
+            params=paper_params_h03, n_f=0.5, p=0.8,
+            duration=800.0, warmup=80.0, seed=2,
+        )
+        metrics = run_mirror(cfg)
+        assert metrics.hit_ratio == pytest.approx(0.7, abs=0.03)  # h'+n_f*p
+
+    def test_prefetch_rate_realised(self, paper_params_h03):
+        cfg = MirrorConfig(
+            params=paper_params_h03, n_f=0.5, p=0.8,
+            duration=800.0, warmup=80.0, seed=2,
+        )
+        metrics = run_mirror(cfg)
+        assert metrics.prefetches_per_request == pytest.approx(0.5, abs=0.05)
+
+
+class TestMirrorWithPrefetch:
+    def test_matches_model_a_chain(self, paper_params_h03):
+        cfg = MirrorConfig(
+            params=paper_params_h03, n_f=0.5, p=0.8,
+            duration=2000.0, warmup=200.0, seed=3,
+        )
+        comparison = mirror_vs_theory(cfg, run_mirror(cfg))
+        assert comparison.max_error() < 0.10
+
+    def test_insensitivity_pareto_sizes(self, paper_params_h03):
+        """PS means depend only on s-bar: heavy-tailed sizes, same t-bar."""
+        cfg = MirrorConfig(
+            params=paper_params_h03, n_f=0.5, p=0.8,
+            duration=2500.0, warmup=250.0, seed=4,
+            size_distribution=ParetoSize(1.0, alpha=2.2),
+        )
+        comparison = mirror_vs_theory(cfg, run_mirror(cfg))
+        assert comparison.access_time_error < 0.15  # heavier tail, wider CI
+
+    def test_batched_timing_inflates_access_time(self, paper_params_h03):
+        from dataclasses import replace
+
+        base = MirrorConfig(
+            params=paper_params_h03, n_f=0.5, p=0.8,
+            duration=1500.0, warmup=150.0, seed=5,
+        )
+        independent = run_mirror(base).mean_access_time
+        batched = run_mirror(
+            replace(base, prefetch_timing="batched")
+        ).mean_access_time
+        assert batched > independent
+
+
+class TestMirrorValidation:
+    def test_config_domain(self, paper_params):
+        with pytest.raises(ConfigurationError):
+            MirrorConfig(params=paper_params, n_f=-1.0)
+        with pytest.raises(ConfigurationError):
+            MirrorConfig(params=paper_params, p=1.5)
+        with pytest.raises(ConfigurationError):
+            MirrorConfig(params=paper_params, duration=10.0, warmup=20.0)
+        with pytest.raises(ConfigurationError):
+            MirrorConfig(params=paper_params, prefetch_timing="sideways")
+
+    def test_infeasible_hit_ratio_rejected(self, paper_params_h03):
+        with pytest.raises(ConfigurationError):
+            MirrorConfig(params=paper_params_h03, n_f=2.0, p=0.9)  # h > 1

@@ -1,0 +1,64 @@
+"""Tests for replication aggregation and policy comparison."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    MirrorConfig,
+    SimulationConfig,
+    compare_policies,
+    run_mirror_replications,
+    run_simulation_replications,
+)
+from repro.workload.sessions import WorkloadSpec
+
+
+class TestMirrorReplications:
+    def test_samples_and_ci(self, paper_params_h03):
+        cfg = MirrorConfig(
+            params=paper_params_h03, duration=200.0, warmup=20.0, seed=1
+        )
+        rr = run_mirror_replications(cfg, replications=3)
+        assert rr["mean_access_time"].shape == (3,)
+        ci = rr.ci("mean_access_time")
+        assert ci.n == 3
+        assert ci.low < rr.mean("mean_access_time") < ci.high
+
+    def test_replications_are_independent(self, paper_params_h03):
+        cfg = MirrorConfig(
+            params=paper_params_h03, duration=200.0, warmup=20.0, seed=1
+        )
+        rr = run_mirror_replications(cfg, replications=3)
+        samples = rr["mean_access_time"]
+        assert len(set(samples.tolist())) == 3
+
+
+class TestSimulationReplications:
+    def _config(self):
+        return SimulationConfig(
+            workload=WorkloadSpec(num_clients=2, request_rate=15.0,
+                                  catalog_size=80, follow_probability=0.6),
+            bandwidth=40.0,
+            cache_capacity=16,
+            policy="threshold-dynamic",
+            duration=50.0,
+            warmup=10.0,
+            seed=3,
+        )
+
+    def test_aggregates_extra_metrics(self):
+        rr = run_simulation_replications(self._config(), replications=2)
+        assert "prefetch_traffic_share" in rr.metric_names
+        assert "hit_ratio" in rr.metric_names
+        assert rr["hit_ratio"].shape == (2,)
+
+    def test_compare_policies_common_random_numbers(self):
+        base = self._config()
+        results = compare_policies(
+            base,
+            {"none": {"policy": "none"}, "thr": {"policy": "threshold-dynamic"}},
+            replications=2,
+        )
+        assert set(results) == {"none", "thr"}
+        # CRN: the no-prefetch arm issues zero prefetches in every rep
+        assert np.all(results["none"]["prefetches_per_request"] == 0.0)

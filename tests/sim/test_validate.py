@@ -1,0 +1,79 @@
+"""Unit tests for the theory-comparison helpers."""
+
+import pytest
+
+from repro.core import no_prefetch
+from repro.core.model_a import ModelA
+from repro.sim import MirrorConfig
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.validate import TheoryComparison, mirror_vs_theory
+
+
+def fake_metrics(**overrides):
+    base = dict(
+        duration=100.0,
+        requests=1000,
+        hits=300,
+        mean_access_time=0.024,
+        mean_demand_retrieval_time=0.03,
+        mean_prefetch_retrieval_time=float("nan"),
+        utilization=0.42,
+        retrieval_time_per_request=0.024,
+        prefetches_issued=0,
+        prefetches_per_request=0.0,
+        tagged_hits=300,
+    )
+    base.update(overrides)
+    return SimulationMetrics(**base)
+
+
+class TestTheoryComparison:
+    def test_relative_errors(self):
+        cmp = TheoryComparison(
+            measured_access_time=1.1,
+            predicted_access_time=1.0,
+            measured_utilization=0.5,
+            predicted_utilization=0.5,
+            measured_retrieval_per_request=0.9,
+            predicted_retrieval_per_request=1.0,
+        )
+        assert cmp.access_time_error == pytest.approx(0.1)
+        assert cmp.utilization_error == 0.0
+        assert cmp.retrieval_error == pytest.approx(0.1)
+        assert cmp.max_error() == pytest.approx(0.1)
+
+    def test_rows_structure(self):
+        cmp = TheoryComparison(1, 1, 1, 1, 1, 1)
+        rows = cmp.rows()
+        assert [r[0] for r in rows] == ["t_bar", "rho", "R"]
+
+
+class TestMirrorVsTheory:
+    def test_no_prefetch_uses_baseline_equations(self, paper_params_h03):
+        cfg = MirrorConfig(params=paper_params_h03)
+        cmp = mirror_vs_theory(cfg, fake_metrics())
+        assert cmp.predicted_access_time == pytest.approx(
+            no_prefetch.access_time(paper_params_h03)
+        )
+        assert cmp.predicted_utilization == pytest.approx(0.42)
+
+    def test_prefetch_uses_model_a_chain(self, paper_params_h03):
+        cfg = MirrorConfig(params=paper_params_h03, n_f=0.5, p=0.8)
+        cmp = mirror_vs_theory(cfg, fake_metrics())
+        model = ModelA(paper_params_h03)
+        assert cmp.predicted_access_time == pytest.approx(
+            float(model.access_time(0.5, 0.8))
+        )
+        assert cmp.predicted_utilization == pytest.approx(
+            float(model.utilization(0.5, 0.8))
+        )
+
+    def test_exact_measurement_zero_error(self, paper_params_h03):
+        cfg = MirrorConfig(params=paper_params_h03)
+        t = no_prefetch.access_time(paper_params_h03)
+        R = no_prefetch.retrieval_time_per_request(paper_params_h03)
+        metrics = fake_metrics(
+            mean_access_time=t, utilization=0.42, retrieval_time_per_request=R
+        )
+        cmp = mirror_vs_theory(cfg, metrics)
+        assert cmp.max_error() < 1e-12

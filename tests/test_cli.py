@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "policy-ablation" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_run_fig1_with_csv_and_report(self, tmp_path, capsys):
+        rc = main(
+            [
+                "fig1",
+                "--fast",
+                "--no-plots",
+                "--csv-dir",
+                str(tmp_path / "csv"),
+                "--output-dir",
+                str(tmp_path / "reports"),
+            ]
+        )
+        assert rc == 0
+        assert "p_th" in capsys.readouterr().out
+        assert (tmp_path / "reports" / "fig1.txt").exists()
+        csvs = list((tmp_path / "csv").glob("fig1_*.csv"))
+        assert len(csvs) == 2  # one per panel
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["fig99"])
+
+    def test_parser_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig2", "--fast", "--no-plots"])
+        assert args.experiment == "fig2" and args.fast and args.no_plots

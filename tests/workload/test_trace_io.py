@@ -1,0 +1,83 @@
+"""Tests for trace serialisation (CSV / JSONL round-trips and validation)."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workload import TraceRecord, load_trace, save_trace
+
+
+@pytest.fixture
+def records():
+    return [
+        TraceRecord(time=0.5, client=0, item=10, size=1.5),
+        TraceRecord(time=1.0, client=1, item=3),
+        TraceRecord(time=2.25, client=0, item=10, size=0.25),
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("suffix", [".csv", ".jsonl"])
+    def test_round_trip(self, tmp_path, records, suffix):
+        path = tmp_path / f"trace{suffix}"
+        assert save_trace(records, path) == 3
+        assert load_trace(path) == records
+
+    def test_unsupported_extension(self, tmp_path, records):
+        with pytest.raises(TraceFormatError):
+            save_trace(records, tmp_path / "trace.xml")
+        with pytest.raises(TraceFormatError):
+            load_trace(tmp_path / "missing.xml")
+
+
+class TestValidation:
+    def test_record_domain(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(time=-1.0, client=0, item=0)
+        with pytest.raises(TraceFormatError):
+            TraceRecord(time=0.0, client=0, item=0, size=0.0)
+
+    def test_unsorted_save_rejected(self, tmp_path):
+        bad = [
+            TraceRecord(time=2.0, client=0, item=1),
+            TraceRecord(time=1.0, client=0, item=2),
+        ]
+        with pytest.raises(TraceFormatError):
+            save_trace(bad, tmp_path / "t.csv")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="not found"):
+            load_trace(tmp_path / "nope.csv")
+
+    def test_bad_csv_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c,d\n1,2,3,4\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            load_trace(path)
+
+    def test_bad_csv_field_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,client,item,size\n1,2,3\n")
+        with pytest.raises(TraceFormatError, match="4 fields"):
+            load_trace(path)
+
+    def test_bad_csv_value(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,client,item,size\nxx,0,1,1.0\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_bad_jsonl(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1.0}\n')
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_jsonl_skips_blank_lines(self, tmp_path, records=None):
+        path = tmp_path / "ok.jsonl"
+        path.write_text(
+            '{"time": 1.0, "client": 0, "item": 5}\n\n'
+            '{"time": 2.0, "client": 0, "item": 6}\n'
+        )
+        loaded = load_trace(path)
+        assert len(loaded) == 2
+        assert loaded[0].size == 1.0  # default size
