@@ -7,14 +7,23 @@ Walks through the analytical API end to end:
 2. compute the prefetch threshold ``p_th`` for interaction models A and B;
 3. evaluate the access improvement G and excess cost C of a prefetch plan;
 4. apply the rule to a concrete candidate list from a predictor;
-5. cross-check against a discrete-event simulation of the same system.
+5. cross-check against a discrete-event simulation of the same system;
+6. tighten the estimate with replicated runs — optionally in parallel
+   (``jobs=N`` fans independent replications over N worker processes with
+   bit-identical results; the experiment CLI exposes the same knob as
+   ``python -m repro <id> --jobs N``).
 
 Run:  python examples/quickstart.py
 """
 
 from repro import ModelA, ModelB, SystemParameters
 from repro.core.thresholds import select_items
-from repro.sim import MirrorConfig, mirror_vs_theory, run_mirror
+from repro.sim import (
+    MirrorConfig,
+    mirror_vs_theory,
+    run_mirror,
+    run_mirror_replications,
+)
 
 
 def main() -> None:
@@ -72,6 +81,17 @@ def main() -> None:
     for name, predicted, measured, err in comparison.rows():
         print(f"  {name:5s} theory={predicted:.5f}  sim={measured:.5f}  "
               f"rel.err={err:.1%}")
+
+    # ------------------------------------------------------------------
+    # 6. Replicate for a confidence interval.  ``jobs=2`` runs the
+    #    replications in two worker processes; the samples (and therefore
+    #    the CI) are bit-identical to a serial run with the same seeds.
+    # ------------------------------------------------------------------
+    rr = run_mirror_replications(cfg, replications=4, jobs=2)
+    ci = rr.ci("mean_access_time")
+    print(f"\nreplicated t_bar over 4 seeds (jobs=2): "
+          f"{rr.mean('mean_access_time'):.5f}  "
+          f"95% CI [{ci.low:.5f}, {ci.high:.5f}]")
 
 
 if __name__ == "__main__":

@@ -29,7 +29,7 @@ __all__ = ["Cache", "CacheEntry", "CacheStats"]
 Key = Hashable
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class CacheEntry:
     """One cached item.
 

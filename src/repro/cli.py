@@ -46,6 +46,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="shrink simulation durations/replications (CI-friendly)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run independent simulation replications across N worker "
+            "processes (0 = one per CPU core; default 1 = serial; results "
+            "are bit-identical to serial for the same seeds)"
+        ),
+    )
+    parser.add_argument(
         "--no-plots", action="store_true", help="suppress ASCII plots"
     )
     parser.add_argument(
@@ -65,7 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
     experiment = get_experiment(experiment_id)
-    result = experiment.run(fast=args.fast)
+    result = experiment.run(fast=args.fast, jobs=args.jobs)
     report = result.render(plots=not args.no_plots)
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)

@@ -149,31 +149,54 @@ def greedy_set(
     stop when no candidate has a positive (and stable) marginal gain.
     Candidates are considered in descending probability, which makes the
     greedy order deterministic.
+
+    ``G(S)`` depends on ``S`` only through the selected probability mass
+    ``P_S`` and count ``|S|``, so the selected mass is tracked incrementally
+    and each candidate's marginal gain is evaluated in O(1): infeasible
+    candidates (mass cap, instability) are filtered by the same two
+    comparisons ``improvement_for_set`` would reject them with, without
+    rebuilding the trial set or raising/catching ``ParameterError`` per
+    (candidate × round) pair.
     """
     probs = _validate_probs(probabilities)
-    remaining = list(np.argsort(-probs))
+    remaining = [int(i) for i in np.argsort(-probs)]
     selected: list[int] = []
+    mass = 0.0
     current = 0.0
+    t_prime = no_prefetch.access_time(params, on_unstable="nan")
+    rate, svc = params.request_rate, params.service_time
+    mass_cap = params.fault_ratio + 1e-12
     improved = True
     while improved and remaining:
         improved = False
         best_idx: int | None = None
         best_gain = current
+        count = float(len(selected) + 1)
         for i in remaining:
-            trial = selected + [int(i)]
-            try:
-                gain = improvement_for_set(params, probs, trial)
-            except ParameterError:
-                continue  # would exceed the max(np) feasibility mass
+            trial_mass = mass + float(probs[i])
+            if trial_mass > mass_cap:
+                continue  # would exceed the max(np) feasibility mass (eq. 6)
+            h = params.hit_ratio + trial_mass
+            rho = (1.0 - h + count) * rate * svc
+            if rho >= 1.0:
+                continue  # out of the stability region: infeasible
+            gain = t_prime - (1.0 - h) * params.mean_item_size / (
+                params.bandwidth * (1.0 - rho)
+            )
             if np.isfinite(gain) and gain > best_gain + 1e-15:
                 best_gain = gain
-                best_idx = int(i)
+                best_idx = i
         if best_idx is not None:
             selected.append(best_idx)
             remaining.remove(best_idx)
+            mass += float(probs[best_idx])
             current = best_gain
             improved = True
-    return PrefetchPlan(selected=tuple(sorted(selected)), improvement=float(current))
+    # Report the gain through the audited evaluator so the plan's
+    # improvement is exactly what improvement_for_set(selected) returns.
+    selected_t = tuple(sorted(selected))
+    gain = improvement_for_set(params, probs, selected_t) if selected_t else 0.0
+    return PrefetchPlan(selected=selected_t, improvement=float(gain))
 
 
 def exhaustive_set(

@@ -10,6 +10,7 @@ depends on it.
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, Optional
 
 from repro.des.events import AllOf, AnyOf, Event, Process, Timeout
@@ -83,20 +84,27 @@ class Environment:
         """Queue ``event`` to be processed ``delay`` after the current time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self._now + delay, priority, eid, event))
 
     def step(self) -> None:
-        """Process exactly one event (advance the clock to it)."""
+        """Process exactly one event (advance the clock to it).
+
+        :meth:`run` does not call this — it inlines the same logic in a
+        monolithic loop — but single-stepping stays available for tests and
+        debuggers.  Both paths preserve the (time, priority, insertion-order)
+        processing contract.
+        """
         if not self._queue:
             raise EmptySchedule()
-        when, _prio, _eid, event = heapq.heappop(self._queue)
+        when, _prio, _eid, event = heappop(self._queue)
         if when < self._now:  # pragma: no cover - guarded by schedule()
             raise SimulationError("event queue went backwards in time")
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
         if callbacks is None:  # pragma: no cover - double-processing guard
             raise SimulationError(f"{event!r} processed twice")
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
         if not event._ok and not callbacks:
@@ -113,24 +121,60 @@ class Environment:
             ``None`` — run to exhaustion; a number — run until the clock
             reaches it (the clock is set to exactly ``until``); an
             :class:`Event` — run until it is processed and return its value
-            (raising if it failed).
+            (raising if it failed; returning immediately if it was already
+            processed).
+
+        Notes
+        -----
+        This is the simulation hot loop: the per-event work of :meth:`step`
+        is inlined (heap pop, clock advance, callback dispatch) so millions
+        of events don't each pay a method call and repeated attribute
+        lookups.  Processing order is identical to repeated ``step()`` calls.
         """
+        queue = self._queue
+        pop = heappop
+
         if until is None:
-            try:
-                while True:
-                    self.step()
-            except EmptySchedule:
-                return None
+            while queue:
+                when, _prio, _eid, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                if callbacks is None:  # pragma: no cover - double-processing
+                    raise SimulationError(f"{event!r} processed twice")
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not callbacks:
+                    raise event._value
+            return None
 
         if isinstance(until, Event):
             sentinel = until
-            while not sentinel.processed:
-                try:
-                    self.step()
-                except EmptySchedule:
+            if sentinel.callbacks is None:
+                # Already processed before run() was called: no busy
+                # polling, just report its outcome at the current time.
+                if not sentinel._ok:
+                    raise sentinel._value
+                return sentinel._value
+            # The sentinel flags completion via its own callback, so the
+            # loop never probes ``sentinel.processed`` per step.
+            fired: list[Event] = []
+            sentinel.callbacks.append(fired.append)
+            while not fired:
+                if not queue:
                     raise SimulationError(
                         "run(until=event): queue exhausted before the event fired"
-                    ) from None
+                    )
+                when, _prio, _eid, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                if callbacks is None:  # pragma: no cover - double-processing
+                    raise SimulationError(f"{event!r} processed twice")
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not callbacks:
+                    raise event._value
             if not sentinel._ok:
                 raise sentinel._value
             return sentinel._value
@@ -140,8 +184,17 @@ class Environment:
             raise SimulationError(
                 f"run(until={deadline}) is in the past (now={self._now})"
             )
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        while queue and queue[0][0] <= deadline:
+            when, _prio, _eid, event = pop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            if callbacks is None:  # pragma: no cover - double-processing
+                raise SimulationError(f"{event!r} processed twice")
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not callbacks:
+                raise event._value
         self._now = deadline
         return None
 
@@ -153,8 +206,24 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` from now, carrying ``value``."""
-        return Timeout(self, delay, value)
+        """An event firing ``delay`` from now, carrying ``value``.
+
+        Timeouts dominate event traffic, so this skips the
+        ``Timeout.__init__`` → ``Event.__init__`` → :meth:`schedule` chain
+        and builds the already-triggered event in place (identical queue
+        entry, so processing order is unchanged).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        event = Timeout.__new__(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._ok = True
+        event._value = value
+        event.delay = delay
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self._now + delay, NORMAL, eid, event))
+        return event
 
     def process(self, generator: Generator[Any, Any, Any]) -> Process:
         """Start a process from a generator; returns its completion event."""

@@ -17,6 +17,7 @@ Composite conditions (:class:`AllOf` / :class:`AnyOf`, also reachable via
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -35,6 +36,12 @@ __all__ = [
 ]
 
 _PENDING = object()
+
+#: Priority constants mirrored from :mod:`repro.des.environment` (importing
+#: them would create a cycle); tests/des/test_environment.py pins the
+#: mirrored values and the inlined queue-entry layout against drift.
+_URGENT = 0
+_NORMAL = 1
 
 
 class Interrupt(Exception):
@@ -62,7 +69,13 @@ class Event:
     ``callbacks`` is a list of ``f(event)`` invoked when the environment
     processes the event; it becomes ``None`` afterwards, which is also the
     cheap "already processed" flag (as in SimPy).
+
+    Events are the unit of allocation on the simulation hot path, so the
+    whole hierarchy uses ``__slots__``; subclasses outside this module may
+    omit ``__slots__`` (they then carry a ``__dict__`` as usual).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -102,22 +115,32 @@ class Event:
     # ------------------------------------------------------------------
     def succeed(self, value: Any = None, *, delay: float = 0.0) -> "Event":
         """Trigger successfully with ``value`` after ``delay`` (default now)."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, delay=delay)
+        # Inline of env.schedule(self, delay=delay): triggering is the
+        # second-hottest event operation after timeout creation.
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        env = self.env
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now + delay, _NORMAL, eid, self))
         return self
 
     def fail(self, exception: BaseException, *, delay: float = 0.0) -> "Event":
         """Trigger as failed; ``exception`` is thrown into waiting processes."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, delay=delay)
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        env = self.env
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now + delay, _NORMAL, eid, self))
         return self
 
     # ------------------------------------------------------------------
@@ -139,7 +162,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after creation."""
+    """An event that fires ``delay`` time units after creation.
+
+    :meth:`Environment.timeout` constructs these through a fast path that
+    bypasses the ``__init__`` chain; this constructor stays for direct use.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
@@ -154,16 +183,14 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal: starts a freshly created process at the current time."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
         self._ok = True
         self._value = None
         self.callbacks = [process._resume]
-        env.schedule(self, priority=Environment_URGENT)
-
-
-# Priority constant mirrored from environment to avoid a cycle at import.
-Environment_URGENT = 0
+        env.schedule(self, priority=_URGENT)
 
 
 class Process(Event):
@@ -173,6 +200,8 @@ class Process(Event):
     returns (value = return value) or raises (failed event) — so processes
     can wait for each other (``yield env.process(child())``).
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator[Any, Any, Any]) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -224,11 +253,12 @@ class Process(Event):
         env = self.env
         env._active_process = self
         self._target = None
+        generator = self._generator
         try:
             if event._ok:
-                next_event = self._generator.send(event._value)
+                next_event = generator.send(event._value)
             else:
-                next_event = self._generator.throw(event._value)
+                next_event = generator.throw(event._value)
         except StopIteration as stop:
             env._active_process = None
             self._ok = True
@@ -268,6 +298,8 @@ class ConditionValue(dict):
 
 class _Condition(Event):
     """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -315,12 +347,16 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Triggers when *all* component events have been processed successfully."""
 
+    __slots__ = ()
+
     def _satisfied(self, event: Event) -> bool:
         return all(ev.processed and ev._ok for ev in self.events)
 
 
 class AnyOf(_Condition):
     """Triggers when *any* component event has succeeded."""
+
+    __slots__ = ()
 
     def _satisfied(self, event: Event) -> bool:
         return True

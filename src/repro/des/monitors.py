@@ -38,6 +38,8 @@ class Tally:
     2.0
     """
 
+    __slots__ = ("name", "_n", "_mean", "_m2", "_min", "_max", "_total")
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._n = 0
@@ -49,14 +51,17 @@ class Tally:
 
     def record(self, value: float) -> None:
         value = float(value)
-        if math.isnan(value):
+        if value != value:  # fast NaN test on the per-event hot path
             raise SimulationError(f"tally {self.name!r} received NaN")
-        self._n += 1
-        delta = value - self._mean
-        self._mean += delta / self._n
-        self._m2 += delta * (value - self._mean)
-        self._min = min(self._min, value)
-        self._max = max(self._max, value)
+        self._n = n = self._n + 1
+        mean = self._mean
+        delta = value - mean
+        self._mean = mean = mean + delta / n
+        self._m2 += delta * (value - mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
         self._total += value
 
     @property
@@ -116,6 +121,8 @@ class TimeWeightedValue:
     ``time_average()`` returns ``∫ value dt / elapsed`` — e.g. the mean
     number of jobs in the PS server, comparable to ``ρ/(1−ρ)``.
     """
+
+    __slots__ = ("env", "_value", "_last_change", "_start", "_integral")
 
     def __init__(self, env: "Environment", initial: float = 0.0) -> None:
         self.env = env

@@ -36,7 +36,7 @@ __all__ = ["ProcessorSharingServer", "PSJob"]
 _WORK_EPSILON = 1e-12
 
 
-@dataclass(eq=False)  # identity semantics: jobs live in sets keyed by object
+@dataclass(eq=False, slots=True)  # identity semantics: jobs live in sets keyed by object
 class PSJob:
     """One job in (or through) the processor-sharing server.
 
@@ -224,16 +224,23 @@ class ProcessorSharingServer:
         when ``now + delay`` rounds to ``now`` near large clock values.
         """
         self._epoch += 1
-        self._expected = []
-        if not self._active:
+        active = self._active
+        if not active:
+            self._expected = []
             return
-        n = len(self._active)
-        min_remaining = min(job.remaining for job in self._active)
-        tol = min_remaining * 1e-9 + _WORK_EPSILON
-        self._expected = [j for j in self._active if j.remaining <= min_remaining + tol]
+        n = len(active)
+        if n == 1:
+            # Single-job fast path (the common case at moderate load): the
+            # tolerance scan below would select exactly this job anyway.
+            min_remaining = active[0].remaining
+            self._expected = [active[0]]
+        else:
+            min_remaining = min(job.remaining for job in active)
+            tol = min_remaining * 1e-9 + _WORK_EPSILON
+            self._expected = [j for j in active if j.remaining <= min_remaining + tol]
         delay = min_remaining * n / self.capacity
         epoch = self._epoch
-        timer = self.env.timeout(max(delay, 0.0))
+        timer = self.env.timeout(delay if delay > 0.0 else 0.0)
         timer.callbacks.append(lambda _ev, e=epoch: self._on_timer(e))
 
     def _on_timer(self, epoch: int) -> None:

@@ -2,23 +2,28 @@
 
 Every paper figure and every ablation is an :class:`Experiment` exposing
 
-* ``run(fast=...)`` → an :class:`ExperimentResult` with the raw sweeps/rows,
+* ``run(fast=..., jobs=...)`` → an :class:`ExperimentResult` with the raw
+  sweeps/rows plus the run record (worker count, wall-clock),
 * a registry entry so the CLI (``python -m repro <id>``) and the benchmark
   suite can enumerate them.
 
 ``fast=True`` shrinks simulation durations/replications so the benchmark
 suite stays minutes-fast; closed-form experiments ignore it (they are exact
-either way).
+either way).  ``jobs`` sets the parallel-replication worker count for every
+replicated run inside the experiment (results are bit-identical to serial;
+see :mod:`repro.sim.parallel`).
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from repro.analysis.series import SweepResult
 from repro.errors import ConfigurationError
+from repro.sim.parallel import get_default_jobs, replication_jobs
 
 __all__ = ["Experiment", "ExperimentResult", "register", "get_experiment", "all_experiments"]
 
@@ -29,6 +34,8 @@ class ExperimentResult:
 
     ``sweeps`` hold figure panels; ``tables`` hold (headers, rows) pairs for
     tabular results; ``notes`` carries observations for EXPERIMENTS.md.
+    ``jobs``/``wall_clock_seconds`` record how the run executed (filled in
+    by :meth:`Experiment.run`).
     """
 
     experiment_id: str
@@ -38,6 +45,8 @@ class ExperimentResult:
         default_factory=list
     )
     notes: list[str] = field(default_factory=list)
+    jobs: int | None = None
+    wall_clock_seconds: float | None = None
 
     def render(self, *, plots: bool = True, max_rows: int | None = 12) -> str:
         """Human-readable report (what the bench prints)."""
@@ -45,6 +54,11 @@ class ExperimentResult:
         from repro.analysis.tables import format_sweep, format_table
 
         chunks = [f"=== {self.experiment_id}: {self.title} ==="]
+        if self.wall_clock_seconds is not None:
+            chunks.append(
+                f"run: jobs={self.jobs}, "
+                f"wall-clock={self.wall_clock_seconds:.2f}s"
+            )
         for sweep in self.sweeps:
             chunks.append(format_sweep(sweep, max_rows=max_rows))
             if plots:
@@ -67,9 +81,26 @@ class Experiment(ABC):
     #: one-line description
     description: str = ""
 
+    def run(self, *, fast: bool = False, jobs: int | None = None) -> ExperimentResult:
+        """Execute and return results.
+
+        ``fast`` trims stochastic workloads.  ``jobs`` sets the parallel
+        replication worker count for every replicated run inside the
+        experiment (None → session default; results are identical either
+        way).  The returned result records the effective worker count and
+        total wall-clock.
+        """
+        started = time.perf_counter()
+        with replication_jobs(jobs):
+            effective_jobs = get_default_jobs()
+            result = self._execute(fast=fast)
+        result.jobs = effective_jobs
+        result.wall_clock_seconds = time.perf_counter() - started
+        return result
+
     @abstractmethod
-    def run(self, *, fast: bool = False) -> ExperimentResult:
-        """Execute and return results.  ``fast`` trims stochastic workloads."""
+    def _execute(self, *, fast: bool = False) -> ExperimentResult:
+        """Build the result (subclass hook; call :meth:`run`, not this)."""
 
 
 _REGISTRY: dict[str, Callable[[], Experiment]] = {}

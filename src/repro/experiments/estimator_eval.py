@@ -81,7 +81,7 @@ class EstimatorEvalExperiment(Experiment):
             n_f,
         ]
 
-    def run(self, *, fast: bool = False) -> ExperimentResult:
+    def _execute(self, *, fast: bool = False) -> ExperimentResult:
         result = ExperimentResult(
             experiment_id=self.experiment_id,
             title="h' estimator accuracy while prefetching runs",

@@ -36,7 +36,7 @@ class Figure1Experiment(Experiment):
     paper_artifact = "Figure 1"
     description = "p_th vs item size s for nine bandwidths, h' in {0.0, 0.3}"
 
-    def run(self, *, fast: bool = False) -> ExperimentResult:
+    def _execute(self, *, fast: bool = False) -> ExperimentResult:
         result = ExperimentResult(
             experiment_id=self.experiment_id,
             title="Threshold p_th = f'*lambda*s/b against s (model A, eq. 13)",

@@ -37,7 +37,7 @@ class Figure2Experiment(Experiment):
     paper_artifact = "Figure 2"
     description = "G vs n(F) for p in 0.1..0.9; s=1, lambda=30, b=50, h' in {0, 0.3}"
 
-    def run(self, *, fast: bool = False) -> ExperimentResult:
+    def _execute(self, *, fast: bool = False) -> ExperimentResult:
         result = ExperimentResult(
             experiment_id=self.experiment_id,
             title="Access improvement G (eq. 11) against prefetch count n(F)",

@@ -36,7 +36,7 @@ class Figure3Experiment(Experiment):
     paper_artifact = "Figure 3"
     description = "Excess cost C vs n(F) for p in 0.1..0.9; s=1, lambda=30, b=50"
 
-    def run(self, *, fast: bool = False) -> ExperimentResult:
+    def _execute(self, *, fast: bool = False) -> ExperimentResult:
         result = ExperimentResult(
             experiment_id=self.experiment_id,
             title="Excess retrieval cost C (eq. 27) against prefetch count n(F)",

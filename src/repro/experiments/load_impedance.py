@@ -35,7 +35,7 @@ class LoadImpedanceExperiment(Experiment):
     paper_artifact = "Section 5 (excess retrieval cost discussion)"
     description = "Cost of the same prefetch under increasing baseline load"
 
-    def run(self, *, fast: bool = False) -> ExperimentResult:
+    def _execute(self, *, fast: bool = False) -> ExperimentResult:
         result = ExperimentResult(
             experiment_id=self.experiment_id,
             title="Load impedance: same prefetch, rising load",

@@ -31,7 +31,7 @@ class ModelCompareExperiment(Experiment):
     paper_artifact = "Section 6 (the two models compared)"
     description = "Threshold gap, A->B convergence, and AB bracketing"
 
-    def run(self, *, fast: bool = False) -> ExperimentResult:
+    def _execute(self, *, fast: bool = False) -> ExperimentResult:
         result = ExperimentResult(
             experiment_id=self.experiment_id,
             title="Models A vs B vs AB",

@@ -52,7 +52,7 @@ class PolicyAblationExperiment(Experiment):
             seed=42,
         )
 
-    def run(self, *, fast: bool = False) -> ExperimentResult:
+    def _execute(self, *, fast: bool = False) -> ExperimentResult:
         result = ExperimentResult(
             experiment_id=self.experiment_id,
             title="Prefetch policy ablation (full system, common random numbers)",

@@ -42,7 +42,7 @@ class SimVsAnalyticExperiment(Experiment):
             pts.append(MirrorConfig(params=params, n_f=n_f, p=p, seed=11))
         return pts
 
-    def run(self, *, fast: bool = False) -> ExperimentResult:
+    def _execute(self, *, fast: bool = False) -> ExperimentResult:
         duration = 600.0 if fast else 3000.0
         warmup = 60.0 if fast else 300.0
         reps = 3 if fast else 5

@@ -92,7 +92,7 @@ class ThresholdClaimsExperiment(Experiment):
         )
         return [agree, trials, max_gap], note
 
-    def run(self, *, fast: bool = False) -> ExperimentResult:
+    def _execute(self, *, fast: bool = False) -> ExperimentResult:
         result = ExperimentResult(
             experiment_id=self.experiment_id,
             title="Threshold rule & condition redundancy audit",

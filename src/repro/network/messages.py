@@ -24,7 +24,7 @@ class FetchKind(str, Enum):
     PREFETCH = "prefetch"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FetchRequest:
     """One fetch submitted to the shared link."""
 
@@ -36,7 +36,7 @@ class FetchRequest:
     request_id: int = field(default_factory=lambda: next(_request_ids))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FetchResult:
     """Completion record for a fetch."""
 

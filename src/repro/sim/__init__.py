@@ -3,6 +3,7 @@
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.sim.mirror import MirrorConfig, run_mirror
+from repro.sim.parallel import ReplicationExecutor, replication_jobs, resolve_jobs
 from repro.sim.runner import (
     ReplicatedResult,
     compare_policies,
@@ -16,6 +17,7 @@ __all__ = [
     "MetricsCollector",
     "MirrorConfig",
     "ReplicatedResult",
+    "ReplicationExecutor",
     "Simulation",
     "SimulationConfig",
     "SimulationMetrics",
@@ -23,6 +25,8 @@ __all__ = [
     "TheoryComparison",
     "compare_policies",
     "mirror_vs_theory",
+    "replication_jobs",
+    "resolve_jobs",
     "run_mirror",
     "run_mirror_replications",
     "run_simulation",

@@ -5,12 +5,18 @@ reports means over independent replications with Student-t confidence
 intervals.  Policy comparisons use *common random numbers* (same seeds →
 same workload realisations) so the difference estimator is paired and
 sharp.
+
+Replications are independent by construction, so all three entry points
+fan out over a :class:`~repro.sim.parallel.ReplicationExecutor` when
+``jobs > 1`` — with the guarantee that parallel results are bit-identical
+to serial ones for the same base seed (seeds are fixed before dispatch and
+results return in submission order).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -18,6 +24,7 @@ from repro.analysis.confidence import ConfidenceInterval, mean_confidence_interv
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.mirror import MirrorConfig, run_mirror
+from repro.sim.parallel import ReplicationExecutor
 from repro.sim.simulation import SimulationOutput, run_simulation
 
 __all__ = [
@@ -67,33 +74,18 @@ def _collect(metrics_list: Sequence[SimulationMetrics], fields: tuple[str, ...],
     return ReplicatedResult(metric_names=tuple(samples), samples=samples)
 
 
-def run_mirror_replications(
-    config: MirrorConfig,
-    *,
-    replications: int = 5,
-    base_seed: int | None = None,
-) -> ReplicatedResult:
-    """n independent mirror runs differing only in seed."""
-    seed0 = config.seed if base_seed is None else base_seed
-    runs = [
-        run_mirror(replace(config, seed=seed0 + 1000 * i))
-        for i in range(replications)
-    ]
-    return _collect(runs, _MIRROR_FIELDS)
+def _replication_seeds(seed0: int, replications: int) -> list[int]:
+    """The pinned seed schedule: replication i runs with ``seed0 + 1000·i``.
+
+    Fixed *before* any work is dispatched so worker partitioning can never
+    reshuffle which seed produced which sample.
+    """
+    return [seed0 + 1000 * i for i in range(replications)]
 
 
-def run_simulation_replications(
-    config: SimulationConfig,
-    *,
-    replications: int = 5,
-    base_seed: int | None = None,
+def _aggregate_simulation_outputs(
+    outputs: Sequence[SimulationOutput],
 ) -> ReplicatedResult:
-    """n independent full-system runs differing only in seed."""
-    seed0 = config.seed if base_seed is None else base_seed
-    outputs: list[SimulationOutput] = []
-    for i in range(replications):
-        cfg = replace(config, seed=seed0 + 1000 * i)
-        outputs.append(run_simulation(cfg))
     def _mean_accuracy(output: SimulationOutput) -> float:
         values = [
             s.accuracy for s in output.controller_stats if not np.isnan(s.accuracy)
@@ -107,23 +99,75 @@ def run_simulation_replications(
     return _collect([o.metrics for o in outputs], _SIM_FIELDS, extra)
 
 
+def run_mirror_replications(
+    config: MirrorConfig,
+    *,
+    replications: int = 5,
+    base_seed: int | None = None,
+    jobs: int | None = None,
+) -> ReplicatedResult:
+    """n independent mirror runs differing only in seed.
+
+    ``jobs`` workers run replications concurrently (None → session
+    default); results are bit-identical to a serial run.
+    """
+    seed0 = config.seed if base_seed is None else base_seed
+    configs = [
+        replace(config, seed=s) for s in _replication_seeds(seed0, replications)
+    ]
+    runs = ReplicationExecutor(jobs).map(run_mirror, configs)
+    return _collect(runs, _MIRROR_FIELDS)
+
+
+def run_simulation_replications(
+    config: SimulationConfig,
+    *,
+    replications: int = 5,
+    base_seed: int | None = None,
+    jobs: int | None = None,
+) -> ReplicatedResult:
+    """n independent full-system runs differing only in seed.
+
+    ``jobs`` workers run replications concurrently (None → session
+    default); results are bit-identical to a serial run.
+    """
+    seed0 = config.seed if base_seed is None else base_seed
+    configs = [
+        replace(config, seed=s) for s in _replication_seeds(seed0, replications)
+    ]
+    outputs = ReplicationExecutor(jobs).map(run_simulation, configs)
+    return _aggregate_simulation_outputs(outputs)
+
+
 def compare_policies(
     base_config: SimulationConfig,
     policies: dict[str, dict],
     *,
     replications: int = 5,
     metric: str = "mean_access_time",
+    jobs: int | None = None,
 ) -> dict[str, ReplicatedResult]:
     """Run each policy variant on common random numbers.
 
     ``policies`` maps a display name to ``{"policy": ..., "policy_params":
     ..., ...}`` overrides applied to ``base_config``.  Identical seeds per
     replication index give paired samples.
+
+    The whole (policy × replication) grid is flattened into one work list
+    before dispatch, so ``jobs`` workers parallelise across policies as
+    well as replications — and because every cell's seed is fixed up front,
+    the common-random-numbers pairing is preserved exactly.
     """
+    names = list(policies)
+    seeds = _replication_seeds(base_config.seed, replications)
+    grid: list[SimulationConfig] = []
+    for name in names:
+        cfg = replace(base_config, **policies[name])
+        grid.extend(replace(cfg, seed=s) for s in seeds)
+    outputs = ReplicationExecutor(jobs).map(run_simulation, grid)
     results: dict[str, ReplicatedResult] = {}
-    for name, overrides in policies.items():
-        cfg = replace(base_config, **overrides)
-        results[name] = run_simulation_replications(
-            cfg, replications=replications, base_seed=base_config.seed
+    for k, name in enumerate(names):
+        results[name] = _aggregate_simulation_outputs(
+            outputs[k * replications:(k + 1) * replications]
         )
     return results

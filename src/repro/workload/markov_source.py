@@ -59,6 +59,10 @@ class MarkovChainSource:
         self.successor_shift = int(successor_shift)
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._current: int | None = None
+        # The transition structure is immutable after construction, so the
+        # per-state true distribution is cached: predictors query it on
+        # every request, which otherwise dominates full-system run time.
+        self._dist_cache: dict[tuple[int, int], list[tuple[int, float]]] = {}
 
     def successor(self, item: int) -> int:
         return (item + self.successor_shift) % self.catalog.num_items
@@ -90,9 +94,18 @@ class MarkovChainSource:
         return base
 
     def true_distribution(self, last_item: int, *, top: int = 10) -> list[tuple[int, float]]:
-        """The true next-access distribution's ``top`` heaviest entries."""
+        """The true next-access distribution's ``top`` heaviest entries.
+
+        Cached per ``(last_item, top)``; callers must treat the returned
+        list as read-only.
+        """
+        key = (last_item, top)
+        cached = self._dist_cache.get(key)
+        if cached is not None:
+            return cached
         succ = self.successor(last_item)
         candidates = {succ} | {i for i, _ in self.catalog.top(top)}
         dist = [(i, self.true_next_probability(last_item, i)) for i in candidates]
         dist.sort(key=lambda pair: (-pair[1], pair[0]))
-        return dist[:top]
+        self._dist_cache[key] = dist = dist[:top]
+        return dist

@@ -6,6 +6,29 @@ from repro.des import Environment, Interrupt
 from repro.errors import SimulationError
 
 
+class TestSchedulingContract:
+    def test_priority_constants_pinned(self):
+        """events.py mirrors URGENT/NORMAL to avoid an import cycle; the
+        mirrored values must stay in lockstep with the environment's."""
+        from repro.des import environment, events
+
+        assert environment.URGENT == events._URGENT == 0
+        assert environment.NORMAL == events._NORMAL == 1
+
+    def test_queue_entry_layout(self):
+        """succeed()/fail()/timeout() inline the (time, priority, eid,
+        event) heap push — pin the tuple layout they all must agree on."""
+        env = Environment()
+        ev = env.timeout(2.0, value="x")
+        ev2 = env.event()
+        ev2.succeed("y", delay=1.0)
+        entries = sorted(env._queue)
+        assert entries[0][0] == 1.0 and entries[0][3] is ev2
+        assert entries[1][0] == 2.0 and entries[1][3] is ev
+        assert [e[1] for e in entries] == [1, 1]  # NORMAL priority
+        assert entries[0][2] != entries[1][2]  # unique insertion ids
+
+
 class TestClock:
     def test_starts_at_zero(self):
         assert Environment().now == 0.0
@@ -213,3 +236,37 @@ class TestRunUntilEvent:
         ev = env.event()
         with pytest.raises(SimulationError, match="exhausted"):
             env.run(until=ev)
+
+    def test_until_already_processed_event_returns_immediately(self):
+        env = Environment()
+        ev = env.timeout(2.0, value="early")
+        env.run()  # processes the timeout (and empties the queue)
+        assert ev.processed
+        now = env.now
+        assert env.run(until=ev) == "early"
+        assert env.now == now  # no events consumed, clock untouched
+
+    def test_until_already_processed_failed_event_raises(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(ValueError("lost cause"))
+        with pytest.raises(ValueError, match="lost cause"):
+            env.run()  # the failure surfaces while processing
+        assert ev.processed
+        with pytest.raises(ValueError, match="lost cause"):
+            env.run(until=ev)
+
+    def test_until_event_does_not_drain_rest_of_queue(self):
+        env = Environment()
+        log = []
+
+        def proc(env, delay, tag):
+            yield env.timeout(delay)
+            log.append(tag)
+
+        env.process(proc(env, 1.0, "a"))
+        target = env.process(proc(env, 2.0, "b"))
+        env.process(proc(env, 3.0, "c"))
+        env.run(until=target)
+        assert log == ["a", "b"]  # "c" still pending
+        assert len(env) > 0
