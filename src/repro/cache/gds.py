@@ -12,16 +12,21 @@ can swap it in to show the threshold rule is policy-agnostic.
 
 from __future__ import annotations
 
-import heapq
 from typing import Callable, Optional
 
 from repro.cache.base import Cache, CacheEntry
+from repro.cache.lazyheap import LazyEvictionHeap
 
 __all__ = ["GreedyDualSizeCache"]
 
 
 class GreedyDualSizeCache(Cache):
-    """Cost/size-aware eviction with lazily-deleted heap ordering."""
+    """Cost/size-aware eviction with lazily-deleted heap ordering.
+
+    H ties break by push recency (smaller sequence number = older touch =
+    evicted first), which matters when costs/sizes are uniform and L has
+    not yet inflated.
+    """
 
     policy_name = "gds"
 
@@ -36,22 +41,14 @@ class GreedyDualSizeCache(Cache):
         #: retrieval cost model; default 1 (pure size-aware GD-Size(1))
         self._cost_fn = cost_fn or (lambda entry: 1.0)
         self._inflation = 0.0
-        self._heap: list[tuple[float, int, CacheEntry]] = []
-        self._seq = 0
-        #: latest heap sequence number per resident key; older heap slots
-        #: are stale.  Also breaks H ties by recency (smaller seq = older
-        #: touch = evicted first), which matters when costs/sizes are
-        #: uniform and L has not yet inflated.
-        self._latest: dict[object, int] = {}
+        self._heap = LazyEvictionHeap()
 
     def _score(self, entry: CacheEntry) -> float:
         return self._inflation + self._cost_fn(entry) / entry.size
 
     def _push(self, entry: CacheEntry) -> None:
         entry.priority = self._score(entry)
-        self._seq += 1
-        self._latest[entry.key] = self._seq
-        heapq.heappush(self._heap, (entry.priority, self._seq, entry))
+        self._heap.push(entry, (entry.priority,))
 
     def _on_insert(self, entry: CacheEntry) -> None:
         self._push(entry)
@@ -62,16 +59,9 @@ class GreedyDualSizeCache(Cache):
         self._push(entry)
 
     def _victim(self) -> CacheEntry:
-        while self._heap:
-            priority, seq, entry = heapq.heappop(self._heap)
-            if entry.key not in self._entries:
-                continue  # entry already evicted/removed; stale slot
-            if seq != self._latest.get(entry.key):
-                continue  # superseded by a newer push (access refreshed it)
-            self._inflation = priority
-            return entry
-        raise AssertionError("heap empty while cache non-empty")  # pragma: no cover
+        priority, _seq, entry = self._heap.pop()
+        self._inflation = priority
+        return entry
 
     def _on_remove(self, entry: CacheEntry) -> None:
-        # Lazy deletion: heap slots are invalidated by the seq check above.
-        self._latest.pop(entry.key, None)
+        self._heap.invalidate(entry.key)

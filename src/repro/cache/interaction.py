@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.cache.base import Cache, CacheEntry
 from repro.cache.clock import ClockCache
+from repro.cache.lazyheap import LazyEvictionHeap
 from repro.cache.fifo import FIFOCache
 from repro.cache.gds import GreedyDualSizeCache
 from repro.cache.lfu import LFUCache
@@ -39,8 +40,28 @@ class ValueAwareCache(Cache):
     ----------
     value_fn:
         Maps a key to its current value (e.g. predicted access
-        probability).  Evaluated at eviction time so a predictor that
-        re-ranks items between accesses is honoured.  Ties break LRU.
+        probability).  Ties break LRU.
+
+    Notes
+    -----
+    Victim selection uses a lazy-invalidation heap (the GDS pattern, see
+    :mod:`repro.cache.lazyheap`) instead of the previous O(n) min-scan,
+    which re-evaluated ``value_fn`` for *every* resident entry on *every*
+    eviction — the dominant cost when the oracle is a live predictor.
+    Three mechanisms keep heap ranks tracking a *changing* oracle:
+
+    * every touch (insert/access) pushes the entry's fresh value;
+    * each eviction re-validates candidates cheapest-first — a popped
+      candidate whose recomputed value rose is re-ranked and the scan
+      continues, so the victim's value is always current;
+    * each eviction additionally re-ranks a bounded round-robin batch
+      (~√n entries), so an entry whose value *dropped* while it sat high
+      in the heap (e.g. a predictor moved on) is observed within O(√n)
+      evictions instead of squatting until its next touch.
+
+    Net cost per eviction is O(√n) oracle calls and O(√n log n) heap work
+    versus the scan's O(n) oracle calls; model A's premise (zero-value
+    entries go first) is preserved up to that bounded re-validation lag.
     """
 
     policy_name = "value-aware"
@@ -54,16 +75,71 @@ class ValueAwareCache(Cache):
     ) -> None:
         super().__init__(capacity_items, capacity_bytes=capacity_bytes)
         self._value_fn = value_fn or (lambda key: 0.0)
+        self._heap = LazyEvictionHeap()
+        #: eviction-cycle stamps for the re-validation loop in _victim
+        self._generation = 0
+        self._revalidated: dict[Hashable, int] = {}
+        #: round-robin queue for the bounded per-eviction refresh sweep
+        self._sweep_queue: list[Hashable] = []
 
     def set_value_fn(self, value_fn: Callable[[Hashable], float]) -> None:
-        """Swap the oracle (the controller wires the predictor in here)."""
+        """Swap the oracle (the controller wires the predictor in here).
+
+        Every resident entry is re-ranked under the new oracle so the swap
+        takes effect immediately, not at the entries' next touch.
+        """
         self._value_fn = value_fn
+        for entry in self._entries.values():
+            self._heap.push(entry, self._rank(entry))
+
+    def _rank(self, entry: CacheEntry) -> tuple:
+        return (
+            self._value_fn(entry.key),
+            entry.last_access_time,
+            entry.insert_time,
+            self._heap.arrival(entry.key),
+        )
+
+    def _on_insert(self, entry: CacheEntry) -> None:
+        self._heap.push(entry, self._rank(entry))
+
+    def _on_access(self, entry: CacheEntry) -> None:
+        self._heap.push(entry, self._rank(entry))
+
+    def _refresh_batch(self) -> None:
+        """Re-rank ~√n resident entries, round-robin across evictions."""
+        if not self._sweep_queue:
+            self._sweep_queue = list(self._entries)
+        batch = max(1, int(len(self._entries) ** 0.5))
+        for _ in range(min(batch, len(self._sweep_queue))):
+            key = self._sweep_queue.pop()
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._heap.push(entry, self._rank(entry))
 
     def _victim(self) -> CacheEntry:
-        return min(
-            self._entries.values(),
-            key=lambda e: (self._value_fn(e.key), e.last_access_time, e.insert_time),
-        )
+        self._refresh_batch()
+        self._generation += 1
+        while True:
+            slot = self._heap.pop()
+            entry = slot[-1]
+            if self._revalidated.get(entry.key) == self._generation:
+                # Already re-scored this eviction: its rank is current and
+                # it is back at the heap minimum, so it is the victim.
+                return entry
+            fresh = self._value_fn(entry.key)
+            self._revalidated[entry.key] = self._generation
+            if fresh == slot[0]:
+                return entry
+            self._heap.push(
+                entry,
+                (fresh, entry.last_access_time, entry.insert_time,
+                 self._heap.arrival(entry.key)),
+            )
+
+    def _on_remove(self, entry: CacheEntry) -> None:
+        self._revalidated.pop(entry.key, None)
+        self._heap.invalidate(entry.key)
 
 
 #: Registry of constructible policies for configuration files / CLI.

@@ -1,0 +1,99 @@
+"""Lazy-invalidation eviction heap shared by the heap-based policies.
+
+GreedyDual-Size introduced the pattern in this codebase: instead of an
+O(n) victim scan per eviction, every policy touch pushes a fresh
+``(rank..., entry)`` slot onto a min-heap and records a per-key sequence
+number; eviction pops slots until one is *live* (its sequence number is
+the key's latest).  Stale slots — superseded by a newer touch or belonging
+to a departed entry — are skipped in O(log n) amortised time, and the heap
+compacts itself whenever stale slots outnumber live ones, so memory stays
+O(live keys) even on eviction-light workloads where nothing is ever
+popped.
+
+:class:`LazyEvictionHeap` factors that machinery out so LFU, the
+value-aware model-A cache and GDS all share it.  The policy supplies the
+rank tuple; the heap appends its own monotone sequence number, which both
+detects staleness and breaks full-rank ties by push order (policies that
+need the old min-scan's residency-order tie-break instead include
+:meth:`arrival` as the final rank component).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.cache.base import CacheEntry
+
+__all__ = ["LazyEvictionHeap"]
+
+
+class LazyEvictionHeap:
+    """Min-heap of cache entries with per-key lazy invalidation.
+
+    Slots are ``(*rank, seq, entry)`` tuples; ``seq`` is unique, so two
+    slots never compare on the entry itself.
+    """
+
+    __slots__ = ("_heap", "_latest", "_seq", "_arrival", "_arrival_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple] = []
+        #: latest sequence number per key; older slots for the key are stale
+        self._latest: dict[object, int] = {}
+        self._seq = 0
+        #: residency ordinal per key (see :meth:`arrival`)
+        self._arrival: dict[object, int] = {}
+        self._arrival_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._latest)
+
+    def arrival(self, key: object) -> int:
+        """Residency ordinal of ``key``, assigned on first use.
+
+        Monotone per (re-)insertion — :meth:`invalidate` clears it — which
+        reproduces the O(n) min-scan's implicit final tie-break: the first
+        minimal entry in dict insertion order.  Policies that pin that
+        behaviour put this ordinal last in their rank tuple.
+        """
+        ordinal = self._arrival.get(key)
+        if ordinal is None:
+            self._arrival[key] = ordinal = self._arrival_seq
+            self._arrival_seq += 1
+        return ordinal
+
+    def push(self, entry: CacheEntry, rank: tuple) -> None:
+        """(Re-)rank ``entry``; any previous slot for its key goes stale."""
+        self._seq += 1
+        self._latest[entry.key] = self._seq
+        heapq.heappush(self._heap, (*rank, self._seq, entry))
+        # Compact once stale slots dominate: without this, a hit-heavy
+        # workload that never evicts would grow the heap by one slot per
+        # access, unbounded.  Amortised O(1) per push.
+        if len(self._heap) > 2 * len(self._latest) + 8:
+            self._heap = [
+                slot for slot in self._heap
+                if self._latest.get(slot[-1].key) == slot[-2]
+            ]
+            heapq.heapify(self._heap)
+
+    def invalidate(self, key: object) -> None:
+        """Drop ``key`` (evicted/removed); its heap slots decay lazily."""
+        self._latest.pop(key, None)
+        self._arrival.pop(key, None)
+
+    def pop(self) -> tuple:
+        """Remove and return the live minimum slot ``(*rank, seq, entry)``.
+
+        The key stays registered: the caller either evicts the entry (its
+        ``_on_remove`` hook calls :meth:`invalidate`) or re-ranks it with
+        :meth:`push`.
+        """
+        while self._heap:
+            slot = heapq.heappop(self._heap)
+            entry = slot[-1]
+            if self._latest.get(entry.key) == slot[-2]:
+                return slot
+        raise AssertionError(
+            "lazy heap empty while entries remain registered"
+        )  # pragma: no cover

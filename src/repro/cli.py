@@ -22,8 +22,12 @@ import sys
 from pathlib import Path
 
 from repro.experiments import all_experiments, get_experiment
+from repro.sim.sweep import SweepExecutor, sweep_session
 
 __all__ = ["main", "build_parser"]
+
+#: default on-disk result-cache location for ``--sweep`` without a DIR
+DEFAULT_SWEEP_CACHE = ".repro-sweep-cache"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +58,20 @@ def build_parser() -> argparse.ArgumentParser:
             "run independent simulation replications across N worker "
             "processes (0 = one per CPU core; default 1 = serial; results "
             "are bit-identical to serial for the same seeds)"
+        ),
+    )
+    parser.add_argument(
+        "--sweep",
+        nargs="?",
+        const=DEFAULT_SWEEP_CACHE,
+        default=None,
+        metavar="DIR",
+        help=(
+            "route every experiment's parameter grid through the sweep "
+            "engine with an on-disk result cache at DIR (default "
+            f"{DEFAULT_SWEEP_CACHE!r}); re-runs of unchanged operating "
+            "points skip simulation entirely, and --jobs sizes the one "
+            "pool shared by the whole grid"
         ),
     )
     parser.add_argument(
@@ -102,8 +120,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {key:18s} {exp.paper_artifact:45s} {exp.description}")
         return 0
     targets = sorted(registry) if args.experiment == "all" else [args.experiment]
-    for target in targets:
-        print(_run_one(target, args))
+    # --sweep routes every experiment's grids through one session engine
+    # with an on-disk result cache; --jobs sizes its shared pool (the
+    # engine inherits the session default set by Experiment.run).
+    engine = (
+        SweepExecutor(cache_dir=Path(args.sweep)) if args.sweep is not None else None
+    )
+    with sweep_session(engine):
+        for target in targets:
+            print(_run_one(target, args))
+    if engine is not None:
+        print(
+            f"sweep cache {args.sweep}: {engine.cache_hit_count} point(s) served "
+            f"from cache, {engine.cache_miss_count} simulated"
+        )
     return 0
 
 

@@ -81,6 +81,18 @@ class Experiment(ABC):
     #: one-line description
     description: str = ""
 
+    @property
+    def engine(self):
+        """The session sweep engine every grid in ``_execute`` runs through.
+
+        Configured by the CLI (``--sweep`` enables the on-disk result
+        cache, ``--jobs`` sizes the shared pool); defaults to an uncached
+        serial engine, so experiments are unchanged standalone.
+        """
+        from repro.sim.sweep import current_engine
+
+        return current_engine()
+
     def run(self, *, fast: bool = False, jobs: int | None = None) -> ExperimentResult:
         """Execute and return results.
 

@@ -28,6 +28,22 @@ PAPER_LAMBDA = 30.0
 SIZE_GRID = np.linspace(0.0, 10.0, 101)
 
 
+def _panel(h_prime: float):
+    """One figure panel, evaluated via the sweep engine's grid map."""
+    params = SystemParameters(
+        bandwidth=PAPER_BANDWIDTHS[0],  # per-curve b comes from the sweep
+        request_rate=PAPER_LAMBDA,
+        mean_item_size=1.0,
+        hit_ratio=h_prime,
+    )
+    return threshold_vs_size(
+        params,
+        sizes=SIZE_GRID,
+        bandwidths=PAPER_BANDWIDTHS,
+        model="A",
+    )
+
+
 @register
 class Figure1Experiment(Experiment):
     """Regenerates both panels of Figure 1."""
@@ -41,19 +57,10 @@ class Figure1Experiment(Experiment):
             experiment_id=self.experiment_id,
             title="Threshold p_th = f'*lambda*s/b against s (model A, eq. 13)",
         )
-        for h_prime in PAPER_HIT_RATIOS:
-            params = SystemParameters(
-                bandwidth=PAPER_BANDWIDTHS[0],  # per-curve b comes from the sweep
-                request_rate=PAPER_LAMBDA,
-                mean_item_size=1.0,
-                hit_ratio=h_prime,
-            )
-            sweep = threshold_vs_size(
-                params,
-                sizes=SIZE_GRID,
-                bandwidths=PAPER_BANDWIDTHS,
-                model="A",
-            )
+        # Panels evaluate through the session sweep engine's grid map
+        # (pure function over the h' grid, in-process).
+        panels = self.engine.map_grid(_panel, PAPER_HIT_RATIOS)
+        for h_prime, sweep in zip(PAPER_HIT_RATIOS, panels):
             result.sweeps.append(sweep)
             # Shape checks the paper's plot makes visually:
             b50 = sweep.get("b = 50")

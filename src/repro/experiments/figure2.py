@@ -29,6 +29,16 @@ PAPER_HIT_RATIOS = (0.0, 0.3)
 NF_GRID = np.linspace(0.0, 2.0, 101)
 
 
+def _panel(h_prime: float):
+    """One figure panel, evaluated via the sweep engine's grid map."""
+    model = ModelA(SystemParameters.paper_defaults(hit_ratio=h_prime))
+    return improvement_vs_prefetch_count(
+        model,
+        n_f_grid=NF_GRID,
+        probabilities=PAPER_PROBABILITIES,
+    )
+
+
 @register
 class Figure2Experiment(Experiment):
     """Regenerates both panels of Figure 2."""
@@ -42,14 +52,10 @@ class Figure2Experiment(Experiment):
             experiment_id=self.experiment_id,
             title="Access improvement G (eq. 11) against prefetch count n(F)",
         )
-        for h_prime in PAPER_HIT_RATIOS:
-            params = SystemParameters.paper_defaults(hit_ratio=h_prime)
-            model = ModelA(params)
-            sweep = improvement_vs_prefetch_count(
-                model,
-                n_f_grid=NF_GRID,
-                probabilities=PAPER_PROBABILITIES,
-            )
+        # Panels evaluate through the session sweep engine's grid map.
+        panels = self.engine.map_grid(_panel, PAPER_HIT_RATIOS)
+        for h_prime, sweep in zip(PAPER_HIT_RATIOS, panels):
+            model = ModelA(SystemParameters.paper_defaults(hit_ratio=h_prime))
             result.sweeps.append(sweep)
             p_th = model.threshold()
             signs = []

@@ -28,6 +28,16 @@ __all__ = ["Figure3Experiment"]
 PAPER_HIT_RATIOS = (0.0, 0.3)
 
 
+def _panel(h_prime: float):
+    """One figure panel, evaluated via the sweep engine's grid map."""
+    model = ModelA(SystemParameters.paper_defaults(hit_ratio=h_prime))
+    return excess_cost_vs_prefetch_count(
+        model,
+        n_f_grid=NF_GRID,
+        probabilities=PAPER_PROBABILITIES,
+    )
+
+
 @register
 class Figure3Experiment(Experiment):
     """Regenerates both panels of Figure 3."""
@@ -41,14 +51,10 @@ class Figure3Experiment(Experiment):
             experiment_id=self.experiment_id,
             title="Excess retrieval cost C (eq. 27) against prefetch count n(F)",
         )
-        for h_prime in PAPER_HIT_RATIOS:
-            params = SystemParameters.paper_defaults(hit_ratio=h_prime)
-            model = ModelA(params)
-            sweep = excess_cost_vs_prefetch_count(
-                model,
-                n_f_grid=NF_GRID,
-                probabilities=PAPER_PROBABILITIES,
-            )
+        # Panels evaluate through the session sweep engine's grid map.
+        panels = self.engine.map_grid(_panel, PAPER_HIT_RATIOS)
+        for h_prime, sweep in zip(PAPER_HIT_RATIOS, panels):
+            model = ModelA(SystemParameters.paper_defaults(hit_ratio=h_prime))
             result.sweeps.append(sweep)
             # Quantify the p-ordering at a sample point inside every curve's
             # stable region.

@@ -24,7 +24,7 @@ from repro.core.model_a import ModelA
 from repro.core.parameters import SystemParameters
 from repro.experiments.base import Experiment, ExperimentResult, register
 from repro.sim.mirror import MirrorConfig
-from repro.sim.runner import run_mirror_replications
+from repro.sim.sweep import SweepPoint
 
 __all__ = ["LoadImpedanceExperiment"]
 
@@ -73,23 +73,37 @@ class LoadImpedanceExperiment(Experiment):
         )
 
         # --- simulated confirmation ------------------------------------
+        # All six mirror runs (3 load levels × prefetch on/off) form one
+        # grid through the session sweep engine — one shared pool, cached
+        # per point, same per-point seed schedule as before.
         duration = 400.0 if fast else 1500.0
         warmup = 40.0 if fast else 150.0
         reps = 3
-        rows = []
-        for rho_p in (0.2, 0.5, 0.8):
+        rho_levels = (0.2, 0.5, 0.8)
+        points = []
+        for rho_p in rho_levels:
             b = lam * s / rho_p
             params = SystemParameters(bandwidth=b, request_rate=lam, mean_item_size=s)
             base = MirrorConfig(
                 params=params, n_f=n_f, p=p, duration=duration, warmup=warmup, seed=5
             )
-            with_pf = run_mirror_replications(base, replications=reps)
-            no_pf = run_mirror_replications(
-                replace(base, n_f=0.0, p=0.0), replications=reps
+            points.append(
+                SweepPoint(key=f"rho={rho_p:g}/prefetch", config=base,
+                           replications=reps, meta={"rho": rho_p})
             )
-            measured_C = with_pf.mean("retrieval_time_per_request") - no_pf.mean(
-                "retrieval_time_per_request"
+            points.append(
+                SweepPoint(key=f"rho={rho_p:g}/baseline",
+                           config=replace(base, n_f=0.0, p=0.0),
+                           replications=reps, meta={"rho": rho_p})
             )
+        grid = self.engine.run(points)
+        rows = []
+        for rho_p in rho_levels:
+            measured_C = grid.mean(
+                f"rho={rho_p:g}/prefetch", "retrieval_time_per_request"
+            ) - grid.mean(f"rho={rho_p:g}/baseline", "retrieval_time_per_request")
+            b = lam * s / rho_p
+            params = SystemParameters(bandwidth=b, request_rate=lam, mean_item_size=s)
             model = ModelA(params)
             theory_C = float(np.asarray(model.excess_cost(n_f, p, on_unstable="nan")))
             rows.append([rho_p, theory_C, measured_C])

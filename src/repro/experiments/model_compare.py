@@ -24,6 +24,37 @@ from repro.experiments.base import Experiment, ExperimentResult, register
 
 __all__ = ["ModelCompareExperiment"]
 
+_H_PRIME = 0.3
+_NC_GRID = (5.0, 10.0, 20.0, 50.0, 100.0, 1000.0)
+_NF_P = (0.5, 0.8)
+
+
+def _gap_row(n_c: float) -> list:
+    """Threshold-gap table row over the n(C) grid."""
+    params = SystemParameters.paper_defaults(hit_ratio=_H_PRIME, cache_size=n_c)
+    a = ModelA(params)
+    b = ModelB(params)
+    return [n_c, a.threshold(), b.threshold(), b.threshold() - a.threshold(),
+            1.0 / n_c]
+
+
+def _conv_row(n_c: float) -> list:
+    """G-convergence table row over the n(C) grid."""
+    n_f, p = _NF_P
+    params = SystemParameters.paper_defaults(hit_ratio=_H_PRIME, cache_size=n_c)
+    g_a = float(np.asarray(ModelA(params).improvement_closed_form(n_f, p)))
+    g_b = float(np.asarray(ModelB(params).improvement_closed_form(n_f, p)))
+    return [n_c, g_a, g_b, abs(g_a - g_b)]
+
+
+def _ab_row(alpha: float) -> list:
+    """AB-interpolation row: threshold and G at one eviction-value alpha."""
+    n_f, p = _NF_P
+    params = SystemParameters.paper_defaults(hit_ratio=_H_PRIME, cache_size=10.0)
+    ab = ModelAB(params, eviction_value=float(alpha))
+    g_ab = float(np.asarray(ab.improvement_closed_form(n_f, p)))
+    return [float(alpha), ab.threshold(), g_ab]
+
 
 @register
 class ModelCompareExperiment(Experiment):
@@ -36,15 +67,10 @@ class ModelCompareExperiment(Experiment):
             experiment_id=self.experiment_id,
             title="Models A vs B vs AB",
         )
+        # All three parameter grids evaluate through the session sweep
+        # engine's grid map (pure rows, in-process).
         # --- threshold gap table over n(C) -----------------------------
-        h_prime = 0.3
-        rows = []
-        for n_c in (5.0, 10.0, 20.0, 50.0, 100.0, 1000.0):
-            params = SystemParameters.paper_defaults(hit_ratio=h_prime, cache_size=n_c)
-            a = ModelA(params)
-            b = ModelB(params)
-            gap = b.threshold() - a.threshold()
-            rows.append([n_c, a.threshold(), b.threshold(), gap, 1.0 / n_c])
+        rows = self.engine.map_grid(_gap_row, _NC_GRID)
         result.tables.append(
             (
                 "threshold gap p_th(B) - p_th(A) = h'/n(C) (bound 1/n(C))",
@@ -54,13 +80,8 @@ class ModelCompareExperiment(Experiment):
         )
 
         # --- convergence of G as n(C) grows ----------------------------
-        n_f, p = 0.5, 0.8
-        conv_rows = []
-        for n_c in (5.0, 10.0, 20.0, 50.0, 100.0, 1000.0):
-            params = SystemParameters.paper_defaults(hit_ratio=h_prime, cache_size=n_c)
-            g_a = float(np.asarray(ModelA(params).improvement_closed_form(n_f, p)))
-            g_b = float(np.asarray(ModelB(params).improvement_closed_form(n_f, p)))
-            conv_rows.append([n_c, g_a, g_b, abs(g_a - g_b)])
+        n_f, p = _NF_P
+        conv_rows = self.engine.map_grid(_conv_row, _NC_GRID)
         result.tables.append(
             (
                 f"G convergence at n(F)={n_f}, p={p} (|G_A - G_B| -> 0)",
@@ -75,19 +96,18 @@ class ModelCompareExperiment(Experiment):
         )
 
         # --- AB bracketing ---------------------------------------------
-        params = SystemParameters.paper_defaults(hit_ratio=h_prime, cache_size=10.0)
+        params = SystemParameters.paper_defaults(hit_ratio=_H_PRIME, cache_size=10.0)
         alphas = np.linspace(0.0, 1.0, 11)
-        ab_rows = []
         bracketing_holds = True
         g_a = float(np.asarray(ModelA(params).improvement_closed_form(n_f, p)))
         g_b = float(np.asarray(ModelB(params).improvement_closed_form(n_f, p)))
-        for alpha in alphas:
-            ab = ModelAB(params, eviction_value=float(alpha))
-            g_ab = float(np.asarray(ab.improvement_closed_form(n_f, p)))
-            lo, hi = min(g_a, g_b), max(g_a, g_b)
+        lo, hi = min(g_a, g_b), max(g_a, g_b)
+        ab_rows = []
+        for row in self.engine.map_grid(_ab_row, list(alphas)):
+            g_ab = row[2]
             inside = lo - 1e-12 <= g_ab <= hi + 1e-12
             bracketing_holds &= inside
-            ab_rows.append([float(alpha), ab.threshold(), g_ab, inside])
+            ab_rows.append(row + [inside])
         result.tables.append(
             (
                 "model AB interpolation (alpha=0 -> A, alpha=1 -> B)",

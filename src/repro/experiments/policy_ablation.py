@@ -19,9 +19,11 @@ fixed/all under load (the indiscriminate policies saturate the link).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.experiments.base import Experiment, ExperimentResult, register
 from repro.sim.config import SimulationConfig
-from repro.sim.runner import compare_policies
+from repro.sim.sweep import SweepPoint
 from repro.workload.sessions import WorkloadSpec
 
 __all__ = ["PolicyAblationExperiment"]
@@ -68,9 +70,20 @@ class PolicyAblationExperiment(Experiment):
             "top-2": {"policy": "top-k", "policy_params": {"k": 2}},
             "all": {"policy": "all"},
         }
-        outcomes = compare_policies(base, policies, replications=reps)
+        # The whole (policy × replication) grid runs through the session
+        # sweep engine: one shared pool, cached per policy point, and the
+        # same seed schedule as compare_policies (so common random numbers
+        # and bit-identity with the per-point path are preserved).
+        outcomes = self.engine.run(
+            [
+                SweepPoint(key=name, config=replace(base, **overrides),
+                           replications=reps)
+                for name, overrides in policies.items()
+            ]
+        )
         rows = []
-        for name, rr in outcomes.items():
+        for name in policies:
+            rr = outcomes[name]
             rows.append(
                 [
                     name,

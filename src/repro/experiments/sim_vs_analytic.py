@@ -16,8 +16,8 @@ import numpy as np
 
 from repro.core.parameters import SystemParameters
 from repro.experiments.base import Experiment, ExperimentResult, register
-from repro.sim.mirror import MirrorConfig, run_mirror
-from repro.sim.runner import run_mirror_replications
+from repro.sim.mirror import MirrorConfig
+from repro.sim.sweep import SweepPoint
 from repro.sim.validate import mirror_vs_theory
 
 __all__ = ["SimVsAnalyticExperiment"]
@@ -50,14 +50,43 @@ class SimVsAnalyticExperiment(Experiment):
             experiment_id=self.experiment_id,
             title="Mirror simulation vs closed forms",
         )
+        # One grid for every mirror run in this experiment: the 5 operating
+        # points (replicated), their independent comparison samples, and
+        # the 3 timing variants of the batch-arrival caveat below — all
+        # through the session sweep engine's single shared pool, with the
+        # per-point seed schedules unchanged (bit-identical results).
+        operating = [
+            replace(cfg, duration=duration, warmup=warmup)
+            for cfg in self._operating_points()
+        ]
+        params = SystemParameters.paper_defaults(hit_ratio=0.3)
+        caveat_base = MirrorConfig(
+            params=params, n_f=0.5, p=0.8,
+            duration=duration, warmup=warmup, seed=3,
+        )
+        timings = ("independent", "jittered", "batched")
+        points = []
+        for i, cfg in enumerate(operating):
+            points.append(SweepPoint(key=f"pt{i}", config=cfg, replications=reps))
+            points.append(
+                SweepPoint(key=f"pt{i}/sample", config=cfg, replications=1,
+                           base_seed=cfg.seed + 999)
+            )
+        for timing in timings:
+            points.append(
+                SweepPoint(key=f"caveat/{timing}",
+                           config=replace(caveat_base, prefetch_timing=timing),
+                           replications=reps)
+            )
+        grid = self.engine.run(points)
+
         rows = []
         worst = 0.0
-        for cfg in self._operating_points():
-            cfg = replace(cfg, duration=duration, warmup=warmup)
-            rr = run_mirror_replications(cfg, replications=reps)
+        for i, cfg in enumerate(operating):
+            rr = grid[f"pt{i}"]
             # Build a synthetic metrics view from replication means for the
             # comparison record.
-            sample = run_mirror(replace(cfg, seed=cfg.seed + 999))
+            sample = grid.raw[f"pt{i}/sample"][0]
             comparison = mirror_vs_theory(cfg, sample)
             measured_t = rr.mean("mean_access_time")
             measured_rho = rr.mean("utilization")
@@ -96,20 +125,16 @@ class SimVsAnalyticExperiment(Experiment):
         result.notes.append(f"worst relative error across points: {worst:.3%}")
 
         # --- batch-arrival caveat --------------------------------------
-        params = SystemParameters.paper_defaults(hit_ratio=0.3)
-        base = MirrorConfig(
-            params=params, n_f=0.5, p=0.8,
-            duration=duration, warmup=warmup, seed=3,
-        )
+        # The theory reference previously re-ran run_mirror(cfg) at seed 3;
+        # that is exactly replication 0 of the 'independent' caveat point
+        # (seed schedule 3, 1003, ...), so reuse the grid's raw output.
         caveat_rows = []
-        theory_t = None
-        for timing in ("independent", "jittered", "batched"):
-            cfg = replace(base, prefetch_timing=timing)
-            rr = run_mirror_replications(cfg, replications=reps)
-            t = rr.mean("mean_access_time")
-            if theory_t is None:
-                comparison = mirror_vs_theory(cfg, run_mirror(cfg))
-                theory_t = comparison.predicted_access_time
+        theory_t = mirror_vs_theory(
+            replace(caveat_base, prefetch_timing=timings[0]),
+            grid.raw[f"caveat/{timings[0]}"][0],
+        ).predicted_access_time
+        for timing in timings:
+            t = grid.mean(f"caveat/{timing}", "mean_access_time")
             caveat_rows.append([timing, t, t / theory_t - 1.0])
         result.tables.append(
             (

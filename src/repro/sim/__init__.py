@@ -11,6 +11,13 @@ from repro.sim.runner import (
     run_simulation_replications,
 )
 from repro.sim.simulation import Simulation, SimulationOutput, run_simulation
+from repro.sim.sweep import (
+    SweepExecutor,
+    SweepPoint,
+    SweepRunResult,
+    current_engine,
+    sweep_session,
+)
 from repro.sim.validate import TheoryComparison, mirror_vs_theory
 
 __all__ = [
@@ -22,8 +29,12 @@ __all__ = [
     "SimulationConfig",
     "SimulationMetrics",
     "SimulationOutput",
+    "SweepExecutor",
+    "SweepPoint",
+    "SweepRunResult",
     "TheoryComparison",
     "compare_policies",
+    "current_engine",
     "mirror_vs_theory",
     "replication_jobs",
     "resolve_jobs",
@@ -31,4 +42,5 @@ __all__ = [
     "run_mirror_replications",
     "run_simulation",
     "run_simulation_replications",
+    "sweep_session",
 ]

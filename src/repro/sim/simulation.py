@@ -255,9 +255,12 @@ class Simulation:
                 pending[chosen_item] = ev
                 self.env.process(prefetch_process(chosen_item))
 
+        # Batched reference stream: bit-identical to per-request
+        # next_item() because the items RNG is dedicated per client.
+        items = source.stream()
         while True:
             yield self.env.timeout(arrivals.next_gap(arrival_rng))
-            item = source.next_item()
+            item = next(items)
             # Open-loop arrivals: requests are spawned, not awaited, so the
             # request rate is unaffected by congestion or prefetching —
             # exactly the paper's §2.1 assumption.

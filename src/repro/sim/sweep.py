@@ -1,0 +1,488 @@
+"""Simulation sweep engine: one shared pool for a whole parameter grid.
+
+Every figure/experiment in this reproduction walks a grid of operating
+points (parameter variations × policies × seeds) and, before this module,
+paid for each point separately: a fresh replication fan-out per point, and
+the full simulation cost again on every re-run even when nothing about the
+point had changed.  :class:`SweepExecutor` fixes both:
+
+* **One pool for the whole grid.**  The full (point × replication) task
+  matrix is flattened *after* every task's seed is pinned — replication
+  ``i`` of a point runs with the same ``seed0 + 1000·i`` schedule the
+  per-point runners use — and dispatched through a single
+  :class:`~repro.sim.parallel.ReplicationExecutor` map.  Results come back
+  in submission order, so every per-point aggregate is **bit-identical**
+  to calling :func:`~repro.sim.runner.run_mirror_replications` /
+  :func:`~repro.sim.runner.run_simulation_replications` point by point
+  (pinned by tests), while ``jobs`` workers stay saturated across point
+  boundaries instead of draining at each one.
+* **On-disk result cache.**  Each point is keyed by a stable scenario
+  hash of its config, replication count and seed schedule; finished
+  replication outputs are stored under ``cache_dir`` and re-runs of
+  unchanged points skip simulation entirely.  Any parameter change hashes
+  to a different key, so invalidation is automatic.
+* **Analytic grids ride along.**  :meth:`SweepExecutor.map_grid` runs a
+  pure function over a parameter list through the same engine interface,
+  so the closed-form experiments (figures 1–3, model-compare) share the
+  uniform grid entry point (their rows are micro-cost, so they evaluate
+  in-process — a pool would cost more than the work).
+
+Points whose base seed is left open are assigned one deterministically via
+``numpy.random.SeedSequence`` spawning from the executor's ``seed``, so a
+grid built without explicit seeds is still reproducible run to run.
+
+The CLI exposes the engine session-wide: ``python -m repro all --sweep
+[DIR] --jobs N`` routes every experiment's replicated runs through one
+cached engine (see :func:`sweep_session` / :func:`current_engine`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.series import Series, SweepResult
+from repro.errors import ConfigurationError
+from repro.sim.config import SimulationConfig
+from repro.sim.mirror import MirrorConfig, run_mirror
+from repro.sim.parallel import ReplicationExecutor
+from repro.sim.runner import (
+    ReplicatedResult,
+    _MIRROR_FIELDS,
+    _aggregate_simulation_outputs,
+    _collect,
+    _replication_seeds,
+)
+from repro.sim.simulation import run_simulation
+
+__all__ = [
+    "SweepPoint",
+    "SweepRunResult",
+    "SweepExecutor",
+    "current_engine",
+    "sweep_session",
+    "scenario_hash",
+]
+
+#: Bump when the stored result layout (or anything the hash cannot see,
+#: e.g. metric definitions) changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Scenario hashing
+# ----------------------------------------------------------------------
+def _token(obj: Any) -> Any:
+    """Canonical, order-stable token of a config value for hashing.
+
+    Dataclasses decompose field by field, containers recurse, numpy
+    scalars/arrays normalise to python numbers, and anything else falls
+    back to the digest of its pickle (raising for unpicklable values so
+    the caller can mark the point uncacheable rather than mis-key it).
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return ("f", repr(obj))
+    if isinstance(obj, (np.integer, np.floating)):
+        return _token(obj.item())
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", obj.shape, tuple(_token(v) for v in obj.ravel()))
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            type(obj).__name__,
+            tuple(
+                (f.name, _token(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ),
+        )
+    if isinstance(obj, Mapping):
+        return ("map", tuple(sorted((repr(k), _token(v)) for k, v in obj.items())))
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(_token(v) for v in obj))
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted(repr(_token(v)) for v in obj)))
+    return ("pickle", hashlib.sha256(pickle.dumps(obj)).hexdigest())
+
+
+def scenario_hash(
+    config: MirrorConfig | SimulationConfig,
+    *,
+    replications: int,
+    base_seed: int,
+) -> str:
+    """Stable identity of one sweep point's full scenario.
+
+    Raises :class:`TypeError`/``pickle.PicklingError`` for configs carrying
+    unhashable run-time objects — such points simply run uncached.
+    """
+    material = (
+        "repro-sweep",
+        CACHE_SCHEMA_VERSION,
+        type(config).__name__,
+        _token(config),
+        int(replications),
+        tuple(_replication_seeds(base_seed, replications)),
+    )
+    return hashlib.sha256(repr(material).encode("utf-8")).hexdigest()[:40]
+
+
+# ----------------------------------------------------------------------
+# Grid description
+# ----------------------------------------------------------------------
+@dataclass
+class SweepPoint:
+    """One operating point of a grid.
+
+    Attributes
+    ----------
+    key:
+        Unique label within the sweep (also the row/series handle).
+    config:
+        A :class:`MirrorConfig` or :class:`SimulationConfig`; the kind is
+        dispatched per task, so one grid may mix both.
+    replications:
+        Independent replications (seeded ``seed0 + 1000·i`` exactly like
+        the per-point runners).
+    base_seed:
+        ``seed0``; ``None`` → the config's own seed (or, when the executor
+        was built with ``seed=...``, a deterministic SeedSequence spawn).
+    meta:
+        Free-form annotations (e.g. the x-coordinate for
+        :meth:`SweepRunResult.to_sweep`).
+    """
+
+    key: str
+    config: MirrorConfig | SimulationConfig
+    replications: int = 5
+    base_seed: int | None = None
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.config, (MirrorConfig, SimulationConfig)):
+            raise ConfigurationError(
+                f"sweep point {self.key!r}: config must be MirrorConfig or "
+                f"SimulationConfig, got {type(self.config).__name__}"
+            )
+        if self.replications < 1:
+            raise ConfigurationError(
+                f"sweep point {self.key!r}: replications must be >= 1"
+            )
+
+
+def _run_task(config: MirrorConfig | SimulationConfig):
+    """Worker entry point — module-level so the pool can pickle it."""
+    if isinstance(config, MirrorConfig):
+        return run_mirror(config)
+    return run_simulation(config)
+
+
+def _aggregate(point: SweepPoint, runs: list) -> ReplicatedResult:
+    if isinstance(point.config, MirrorConfig):
+        return _collect(runs, _MIRROR_FIELDS)
+    return _aggregate_simulation_outputs(runs)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class SweepRunResult:
+    """Per-point aggregates plus raw replication outputs of one sweep."""
+
+    points: tuple[SweepPoint, ...]
+    results: dict[str, ReplicatedResult]
+    #: per-point raw outputs (SimulationMetrics / SimulationOutput per
+    #: replication, submission order) — what the result cache stores
+    raw: dict[str, list]
+    cache_hits: tuple[str, ...] = ()
+    cache_misses: tuple[str, ...] = ()
+    wall_clock_seconds: float = 0.0
+
+    def __getitem__(self, key: str) -> ReplicatedResult:
+        return self.results[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.results)
+
+    def point(self, key: str) -> SweepPoint:
+        for pt in self.points:
+            if pt.key == key:
+                return pt
+        raise KeyError(key)
+
+    def mean(self, key: str, metric: str) -> float:
+        return self.results[key].mean(metric)
+
+    def table(
+        self, metrics: Sequence[str], *, keys: Sequence[str] | None = None
+    ) -> tuple[list[str], list[list[object]]]:
+        """``(headers, rows)`` of replication means, one row per point."""
+        keys = list(keys) if keys is not None else [p.key for p in self.points]
+        headers = ["point"] + list(metrics)
+        rows = [[k] + [self.mean(k, m) for m in metrics] for k in keys]
+        return headers, rows
+
+    def to_sweep(
+        self,
+        metric: str,
+        *,
+        x: str = "x",
+        by: str | None = None,
+        title: str = "",
+        x_label: str = "x",
+        y_label: str | None = None,
+        params: Mapping[str, object] | None = None,
+    ) -> SweepResult:
+        """Bundle point means into a :class:`SweepResult` figure panel.
+
+        ``x`` (and optional series-grouping ``by``) name entries of each
+        point's ``meta``; points sharing a ``by`` value form one series,
+        ordered by their x-coordinate.
+        """
+        groups: dict[str, list[tuple[float, float]]] = {}
+        for pt in self.points:
+            if x not in pt.meta:
+                raise ConfigurationError(
+                    f"sweep point {pt.key!r} lacks meta[{x!r}] for to_sweep"
+                )
+            label = str(pt.meta[by]) if by is not None else metric
+            groups.setdefault(label, []).append(
+                (float(pt.meta[x]), self.mean(pt.key, metric))
+            )
+        series = []
+        for label, pairs in groups.items():
+            pairs.sort(key=lambda pair: pair[0])
+            series.append(
+                Series(
+                    label,
+                    np.asarray([p[0] for p in pairs]),
+                    np.asarray([p[1] for p in pairs]),
+                )
+            )
+        return SweepResult(
+            title=title or f"{metric} over {x_label}",
+            x_label=x_label,
+            y_label=y_label or metric,
+            series=tuple(series),
+            params=dict(params or {}),
+        )
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclass
+class _PointPlan:
+    point: SweepPoint
+    configs: list
+    cache_key: str | None
+    cached: list | None
+
+
+class SweepExecutor:
+    """Run a grid of operating points through one shared replication pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for the flattened task matrix (``None`` → the
+        session default, i.e. the CLI's ``--jobs``; serial fallback and
+        bit-identity semantics are inherited from
+        :class:`~repro.sim.parallel.ReplicationExecutor`).
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables caching.
+    seed:
+        Root for deterministic SeedSequence spawning of per-point base
+        seeds when a point specifies neither ``base_seed`` nor a config
+        seed the caller wants to keep (points with ``base_seed=None`` use
+        their config's seed unless ``spawn_seeds=True`` is requested in
+        :meth:`run`).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        cache_dir: str | os.PathLike | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.seed = int(seed)
+        #: cumulative cache traffic across run() calls (CLI reporting)
+        self.cache_hit_count = 0
+        self.cache_miss_count = 0
+
+    # -- cache plumbing -------------------------------------------------
+    def _cache_path(self, cache_key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{cache_key}.pkl"
+
+    def _cache_load(self, cache_key: str, replications: int) -> list | None:
+        path = self._cache_path(cache_key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except Exception:
+            return None  # absent, unreadable or corrupt -> plain miss
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CACHE_SCHEMA_VERSION
+        ):
+            return None
+        results = payload.get("results")
+        if not isinstance(results, list) or len(results) != replications:
+            return None
+        return results
+
+    def _cache_store(self, cache_key: str, point: SweepPoint, runs: list) -> None:
+        assert self.cache_dir is not None
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "version": CACHE_SCHEMA_VERSION,
+                "point_key": point.key,
+                "results": runs,
+            }
+            tmp = self._cache_path(cache_key).with_suffix(
+                f".tmp.{os.getpid()}"
+            )
+            with open(tmp, "wb") as fh:
+                pickle.dump(payload, fh)
+            os.replace(tmp, self._cache_path(cache_key))
+        except Exception:
+            # Caching is an optimisation; an unwritable/unpicklable result
+            # must never fail the sweep itself.
+            pass
+
+    # -- execution ------------------------------------------------------
+    def _base_seed(self, index: int, point: SweepPoint, spawn_seeds: bool) -> int:
+        if point.base_seed is not None:
+            return int(point.base_seed)
+        if spawn_seeds:
+            # Deterministic per-point spawn: same executor seed + same grid
+            # position -> same seed schedule, independent across points.
+            child = np.random.SeedSequence(self.seed).spawn(index + 1)[index]
+            return int(child.generate_state(1, dtype=np.uint32)[0])
+        return int(point.config.seed)
+
+    def run(
+        self, points: Sequence[SweepPoint], *, spawn_seeds: bool = False
+    ) -> SweepRunResult:
+        """Execute (or fetch from cache) every point and aggregate.
+
+        Uncached tasks across *all* points are dispatched as one flat list
+        through a single pool map; results are reassembled in submission
+        order, so aggregates are bit-identical to the per-point serial
+        runners for the same seeds.
+        """
+        started = time.perf_counter()
+        points = tuple(points)
+        keys = [pt.key for pt in points]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(f"duplicate sweep point keys in {keys}")
+
+        plans: list[_PointPlan] = []
+        for index, pt in enumerate(points):
+            seed0 = self._base_seed(index, pt, spawn_seeds)
+            configs = [
+                replace(pt.config, seed=s)
+                for s in _replication_seeds(seed0, pt.replications)
+            ]
+            cache_key = cached = None
+            if self.cache_dir is not None:
+                try:
+                    cache_key = scenario_hash(
+                        pt.config, replications=pt.replications, base_seed=seed0
+                    )
+                except Exception:
+                    cache_key = None  # unhashable config: run uncached
+                if cache_key is not None:
+                    cached = self._cache_load(cache_key, pt.replications)
+            plans.append(_PointPlan(pt, configs, cache_key, cached))
+
+        flat = [cfg for plan in plans if plan.cached is None for cfg in plan.configs]
+        ran = ReplicationExecutor(self.jobs).map(_run_task, flat) if flat else []
+
+        results: dict[str, ReplicatedResult] = {}
+        raw: dict[str, list] = {}
+        hits: list[str] = []
+        misses: list[str] = []
+        cursor = 0
+        for plan in plans:
+            if plan.cached is not None:
+                runs = plan.cached
+                hits.append(plan.point.key)
+            else:
+                runs = ran[cursor:cursor + len(plan.configs)]
+                cursor += len(plan.configs)
+                misses.append(plan.point.key)
+                if plan.cache_key is not None:
+                    self._cache_store(plan.cache_key, plan.point, runs)
+            raw[plan.point.key] = runs
+            results[plan.point.key] = _aggregate(plan.point, runs)
+        self.cache_hit_count += len(hits)
+        self.cache_miss_count += len(misses)
+        return SweepRunResult(
+            points=points,
+            results=results,
+            raw=raw,
+            cache_hits=tuple(hits),
+            cache_misses=tuple(misses),
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+
+    def map_grid(self, fn: Callable, items: Sequence) -> list:
+        """Evaluate a pure function over a grid, preserving order.
+
+        The analytic experiments use this for their closed-form panels so
+        every grid in the codebase — simulated or exact — funnels through
+        one engine.  Closed-form rows cost microseconds, far below process
+        pool start-up, so this always runs in-process (``jobs`` applies to
+        the simulation matrix in :meth:`run`, where the work is heavy
+        enough to amortise workers).
+        """
+        return [fn(item) for item in items]
+
+
+# ----------------------------------------------------------------------
+# Session engine (what the CLI configures and experiments pick up)
+# ----------------------------------------------------------------------
+_session_engine: SweepExecutor | None = None
+
+
+def current_engine() -> SweepExecutor:
+    """The session's sweep engine (CLI-configured) or a default one.
+
+    The default engine has no result cache and inherits the session
+    ``jobs`` value, so library behaviour without a session engine is
+    unchanged serial execution.
+    """
+    if _session_engine is not None:
+        return _session_engine
+    return SweepExecutor()
+
+
+@contextmanager
+def sweep_session(engine: SweepExecutor | None) -> Iterator[None]:
+    """Scoped session default for :func:`current_engine` (None → no-op)."""
+    global _session_engine
+    if engine is None:
+        yield
+        return
+    previous = _session_engine
+    _session_engine = engine
+    try:
+        yield
+    finally:
+        _session_engine = previous

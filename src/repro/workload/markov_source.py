@@ -80,7 +80,74 @@ class MarkovChainSource:
         return item
 
     def generate(self, count: int) -> list[int]:
-        return [self.next_item() for _ in range(count)]
+        """Generate ``count`` accesses using vectorized uniform blocks.
+
+        Bit-identical to ``[self.next_item() for _ in range(count)]``
+        *including* the generator's state afterwards (pinned by tests):
+        uniforms are drawn in numpy blocks sized to a lower bound of the
+        remaining demand — each step needs one follow-check draw plus one
+        catalogue draw when the chain is not followed, so a block of
+        ``remaining`` uniforms is never an overdraw — and the catalogue's
+        inverse-CDF lookup runs once per block instead of once per miss.
+        The per-item loop then only indexes precomputed arrays, which is
+        what makes bulk trace generation several times faster than the
+        per-draw path.
+        """
+        if count <= 0:
+            return []
+        rng = self._rng
+        q = self.follow_probability
+        num_items = self.catalog.num_items
+        shift = self.successor_shift
+        out: list[int] = []
+        current = self._current
+        #: the next uniform in the stream is a committed catalogue draw
+        #: (true initially when there is no chain state to follow)
+        need_catalog_draw = current is None
+        remaining = count
+        while remaining > 0:
+            block = rng.random(remaining)
+            indices = self.catalog.zipf_indices(block)
+            pos = 0
+            size = remaining  # == len(block)
+            while pos < size:
+                if need_catalog_draw:
+                    current = int(indices[pos])
+                    pos += 1
+                    out.append(current)
+                    remaining -= 1
+                    need_catalog_draw = False
+                elif block[pos] < q:
+                    pos += 1
+                    current = (current + shift) % num_items
+                    out.append(current)
+                    remaining -= 1
+                else:
+                    # Chain not followed: the catalogue draw is the next
+                    # uniform — possibly in the next block.
+                    pos += 1
+                    if pos < size:
+                        current = int(indices[pos])
+                        pos += 1
+                        out.append(current)
+                        remaining -= 1
+                    else:
+                        need_catalog_draw = True
+        self._current = current
+        return out
+
+    def stream(self, block: int = 256):
+        """Endless item iterator over vectorized generation blocks.
+
+        The consumers that draw one item at a time (the live simulation's
+        client processes, trace generation) iterate this instead of calling
+        :meth:`next_item` per request: the source's RNG stream is dedicated,
+        so pre-generating ``block`` items consumes it exactly as per-draw
+        calls would, and trailing unconsumed items at the end of a run touch
+        state nothing else reads.
+        """
+        while True:
+            yield from self.generate(block)
 
     # ------------------------------------------------------------------
     # Ground truth (what an ideal predictor would report)

@@ -108,6 +108,10 @@ def generate_trace(
     arrivals = spec.make_arrivals()
     arrival_rngs = {c: streams.get(f"client{c}/arrivals") for c in range(spec.num_clients)}
     sources = {c: spec.make_source(c, streams) for c in range(spec.num_clients)}
+    # Per-client items come from dedicated RNG streams, so each client's
+    # reference stream is pre-generated in vectorized blocks (bit-identical
+    # to per-record next_item(); trailing unused draws touch nothing else).
+    item_streams = {c: sources[c].stream() for c in range(spec.num_clients)}
     for c in range(spec.num_clients):
         t = arrivals.next_gap(arrival_rngs[c])
         if t <= duration:
@@ -119,7 +123,7 @@ def generate_trace(
             TraceRecord(
                 time=t,
                 client=c,
-                item=sources[c].next_item(),
+                item=next(item_streams[c]),
                 size=float(sizes.sample(size_rng)),
             )
         )

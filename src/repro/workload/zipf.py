@@ -63,11 +63,28 @@ class ZipfCatalog:
 
     def sample(self, rng: np.random.Generator, size: int | None = None):
         """Draw item ids i.i.d. from the catalogue distribution."""
+        if size is not None:
+            return self.sample_batch(rng, size)
+        return int(np.searchsorted(self._cumulative, rng.random(), side="right"))
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` item ids in one vectorized block.
+
+        Consumes the generator's bit stream exactly as ``size`` scalar
+        :meth:`sample` calls would (numpy fills ``random(n)`` from the same
+        double stream), so batch and per-draw paths are interchangeable
+        mid-stream without perturbing downstream draws — pinned by tests.
+        """
         u = rng.random(size)
-        idx = np.searchsorted(self._cumulative, u, side="right")
-        if size is None:
-            return int(idx)
-        return idx.astype(int)
+        return np.searchsorted(self._cumulative, u, side="right").astype(int)
+
+    def zipf_indices(self, uniforms: np.ndarray) -> np.ndarray:
+        """Map already-drawn uniforms to item ids (inverse-CDF lookup).
+
+        Lets callers that manage their own uniform blocks (e.g. the Markov
+        source's batched generator) share the catalogue's inversion.
+        """
+        return np.searchsorted(self._cumulative, uniforms, side="right")
 
     def top(self, k: int) -> list[tuple[int, float]]:
         """The k most popular items with their probabilities."""

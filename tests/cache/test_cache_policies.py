@@ -141,3 +141,95 @@ class TestValueAware:
         cache.set_value_fn(lambda k: 1.0 if k == "a" else 0.0)
         cache.insert("c")
         assert "a" in cache and "b" not in cache
+
+    def test_value_rise_after_touch_is_revalidated_at_eviction(self):
+        # "b" looks cheapest at touch time, but its value has risen by
+        # eviction time: the lazy heap must re-score it and evict "a".
+        values = {"a": 0.5, "b": 0.1, "c": 0.6}
+        cache = ValueAwareCache(2, value_fn=lambda k: values[k])
+        cache.insert("a")
+        cache.insert("b")
+        values["b"] = 0.9
+        cache.insert("c")
+        assert "b" in cache and "a" not in cache
+
+
+class TestHeapVictimMatchesMinScan:
+    """The lazy heaps must pick the exact victim the O(n) scan picked.
+
+    Pin the full tie-break chain — including the scan's implicit final
+    tie-break (first minimal entry in residency order) — by fuzzing a
+    mixed op stream against a reference min() over live entry state.
+    """
+
+    def _reference_victim(self, cache, value_fn=None):
+        if value_fn is None:
+            rank = lambda e: (e.access_count, e.last_access_time, e.insert_time)
+        else:
+            rank = lambda e: (value_fn(e.key), e.last_access_time, e.insert_time)
+        return min(cache._entries.values(), key=rank).key
+
+    def test_lfu_fuzz_equivalence(self):
+        rng = np.random.default_rng(1234)
+        cache = LFUCache(8)
+        victims = []
+        cache.add_eviction_listener(lambda e: victims.append(e.key))
+        for step in range(600):
+            key = int(rng.integers(0, 24))
+            now = float(step // 3)  # coarse clock -> frequent full ties
+            if rng.random() < 0.5 and key in cache:
+                cache.lookup(key, now=now)
+            else:
+                if len(cache) == 8 and key not in cache:
+                    expected = self._reference_victim(cache)
+                    cache.insert(key, now=now)
+                    assert victims[-1] == expected
+                else:
+                    cache.insert(key, now=now)
+
+    def test_lfu_full_tie_breaks_by_residency_order(self):
+        cache = LFUCache(3)
+        for k in ("a", "b", "c"):
+            cache.insert(k, now=0.0)  # identical count/times: full tie
+        cache.insert("d", now=0.0)
+        assert "a" not in cache and {"b", "c", "d"} <= set(cache)
+
+    def test_value_aware_full_tie_breaks_by_residency_order(self):
+        cache = ValueAwareCache(3, value_fn=lambda k: 0.5)
+        for k in ("a", "b", "c"):
+            cache.insert(k, now=0.0)
+        cache.insert("d", now=0.0)
+        assert "a" not in cache and {"b", "c", "d"} <= set(cache)
+
+    def test_value_aware_stable_values_fuzz_equivalence(self):
+        # With a value function that only changes on explicit re-ranks the
+        # heap is exactly the min-scan; fuzz with ties everywhere.
+        rng = np.random.default_rng(99)
+        values = {k: float(rng.integers(0, 3)) / 2.0 for k in range(24)}
+        cache = ValueAwareCache(8, value_fn=lambda k: values[k])
+        victims = []
+        cache.add_eviction_listener(lambda e: victims.append(e.key))
+        for step in range(600):
+            key = int(rng.integers(0, 24))
+            now = float(step // 3)
+            if rng.random() < 0.5 and key in cache:
+                cache.lookup(key, now=now)
+            else:
+                if len(cache) == 8 and key not in cache:
+                    expected = self._reference_victim(
+                        cache, value_fn=lambda k: values[k]
+                    )
+                    cache.insert(key, now=now)
+                    assert victims[-1] == expected
+                else:
+                    cache.insert(key, now=now)
+
+    def test_gds_keeps_push_order_tie_break(self):
+        # GDS ties break by touch recency (not residency order): refreshing
+        # "a" must push it behind untouched peers with equal H.
+        cache = GreedyDualSizeCache(3)
+        for k in ("a", "b", "c"):
+            cache.insert(k)
+        cache.lookup("a")
+        cache.insert("d")
+        assert "a" in cache and "b" not in cache

@@ -1,0 +1,274 @@
+"""Tests for the sweep engine (shared pool + on-disk result cache).
+
+Contracts (mirroring ``test_parallel.py`` for the single-point engine):
+
+* a grid through :class:`SweepExecutor` is **bit-identical** to running
+  each point through the per-point replication runners, at any ``jobs``;
+* the result cache hits on unchanged points, misses when any parameter
+  changes, and cached results equal freshly simulated ones exactly;
+* non-picklable configs degrade gracefully (serial, uncached) with
+  identical results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.errors import ConfigurationError
+from repro.sim import (
+    MirrorConfig,
+    SimulationConfig,
+    SweepExecutor,
+    SweepPoint,
+    current_engine,
+    run_mirror_replications,
+    run_simulation_replications,
+    sweep_session,
+)
+from repro.sim.sweep import scenario_hash
+from repro.workload.sessions import WorkloadSpec
+from repro.workload.sizes import SizeDistribution
+
+
+def _mirror_config(seed=7, bandwidth=50.0) -> MirrorConfig:
+    return MirrorConfig(
+        params=SystemParameters.paper_defaults(hit_ratio=0.3, bandwidth=bandwidth),
+        n_f=0.3,
+        p=0.5,
+        duration=120.0,
+        warmup=15.0,
+        seed=seed,
+    )
+
+
+def _sim_config(seed=3) -> SimulationConfig:
+    return SimulationConfig(
+        workload=WorkloadSpec(num_clients=2, request_rate=15.0,
+                              catalog_size=60, follow_probability=0.6),
+        bandwidth=40.0,
+        cache_capacity=12,
+        policy="threshold-dynamic",
+        duration=40.0,
+        warmup=8.0,
+        seed=seed,
+    )
+
+
+def _grid(replications=2) -> list[SweepPoint]:
+    return [
+        SweepPoint(key="mirror/b=50", config=_mirror_config(bandwidth=50.0),
+                   replications=replications, meta={"x": 50.0}),
+        SweepPoint(key="mirror/b=80", config=_mirror_config(bandwidth=80.0),
+                   replications=replications, meta={"x": 80.0}),
+        SweepPoint(key="full-sim", config=_sim_config(),
+                   replications=replications, meta={"x": 0.0}),
+    ]
+
+
+def _assert_identical(a, b):
+    assert a.metric_names == b.metric_names
+    for name in a.metric_names:
+        assert np.array_equal(a[name], b[name], equal_nan=True), name
+
+
+class TestBitIdenticalToPerPointRunners:
+    def test_matches_per_point_path(self):
+        grid = SweepExecutor(jobs=1).run(_grid())
+        for key, cfg, runner in [
+            ("mirror/b=50", _mirror_config(bandwidth=50.0), run_mirror_replications),
+            ("mirror/b=80", _mirror_config(bandwidth=80.0), run_mirror_replications),
+            ("full-sim", _sim_config(), run_simulation_replications),
+        ]:
+            _assert_identical(grid[key], runner(cfg, replications=2, jobs=1))
+
+    def test_jobs4_equals_jobs1(self):
+        serial = SweepExecutor(jobs=1).run(_grid())
+        parallel = SweepExecutor(jobs=4).run(_grid())
+        for key in serial:
+            _assert_identical(serial[key], parallel[key])
+
+    def test_explicit_base_seed_matches_runner_base_seed(self):
+        pt = SweepPoint(key="m", config=_mirror_config(seed=7),
+                        replications=2, base_seed=123)
+        grid = SweepExecutor(jobs=1).run([pt])
+        ref = run_mirror_replications(
+            _mirror_config(seed=7), replications=2, base_seed=123, jobs=1
+        )
+        _assert_identical(grid["m"], ref)
+
+
+class TestResultCache:
+    def test_miss_then_hit_identical(self, tmp_path):
+        engine = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        cold = engine.run(_grid())
+        assert set(cold.cache_misses) == {"mirror/b=50", "mirror/b=80", "full-sim"}
+        assert cold.cache_hits == ()
+        warm = engine.run(_grid())
+        assert set(warm.cache_hits) == {"mirror/b=50", "mirror/b=80", "full-sim"}
+        assert warm.cache_misses == ()
+        for key in cold:
+            _assert_identical(cold[key], warm[key])
+
+    def test_cache_shared_across_engines(self, tmp_path):
+        SweepExecutor(jobs=1, cache_dir=tmp_path).run(_grid())
+        warm = SweepExecutor(jobs=1, cache_dir=tmp_path).run(_grid())
+        assert warm.cache_misses == ()
+
+    def test_parameter_change_invalidates(self, tmp_path):
+        engine = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        engine.run([SweepPoint(key="m", config=_mirror_config(), replications=2)])
+        changed = engine.run(
+            [SweepPoint(key="m", config=_mirror_config(bandwidth=60.0),
+                        replications=2)]
+        )
+        assert changed.cache_misses == ("m",)
+        # ... as does a replication-count or seed-schedule change.
+        more_reps = engine.run(
+            [SweepPoint(key="m", config=_mirror_config(), replications=3)]
+        )
+        assert more_reps.cache_misses == ("m",)
+        reseeded = engine.run(
+            [SweepPoint(key="m", config=_mirror_config(), replications=2,
+                        base_seed=99)]
+        )
+        assert reseeded.cache_misses == ("m",)
+
+    def test_corrupt_cache_file_is_a_miss(self, tmp_path):
+        engine = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        pt = SweepPoint(key="m", config=_mirror_config(), replications=1)
+        engine.run([pt])
+        for f in tmp_path.glob("*.pkl"):
+            f.write_bytes(b"not a pickle")
+        again = engine.run([pt])
+        assert again.cache_misses == ("m",)
+
+    def test_scenario_hash_stability(self):
+        h1 = scenario_hash(_mirror_config(), replications=2, base_seed=7)
+        h2 = scenario_hash(_mirror_config(), replications=2, base_seed=7)
+        h3 = scenario_hash(_mirror_config(bandwidth=60.0), replications=2,
+                           base_seed=7)
+        assert h1 == h2 != h3
+
+
+class _UnpicklableSizes(SizeDistribution):
+    """Fixed-size distribution that refuses to pickle (sandbox stand-in)."""
+
+    def __init__(self):
+        self.mean = 1.0
+
+    def sample(self, rng):
+        return 1.0
+
+    def __reduce__(self):
+        raise TypeError("deliberately unpicklable")
+
+
+class TestGracefulFallback:
+    def test_unpicklable_config_runs_serial_and_uncached(self, tmp_path):
+        cfg = MirrorConfig(
+            params=SystemParameters.paper_defaults(hit_ratio=0.3),
+            n_f=0.2, p=0.5, duration=80.0, warmup=10.0, seed=5,
+            size_distribution=_UnpicklableSizes(),
+        )
+        pt = SweepPoint(key="odd", config=cfg, replications=2)
+        engine = SweepExecutor(jobs=4, cache_dir=tmp_path)
+        first = engine.run([pt])
+        second = engine.run([pt])
+        # Never cached (unhashable), always simulated, results stable.
+        assert first.cache_misses == second.cache_misses == ("odd",)
+        _assert_identical(first["odd"], second["odd"])
+
+    def test_unwritable_cache_dir_still_runs(self, tmp_path):
+        blocked = tmp_path / "file-not-dir"
+        blocked.write_text("occupied")
+        engine = SweepExecutor(jobs=1, cache_dir=blocked / "nested")
+        result = engine.run(
+            [SweepPoint(key="m", config=_mirror_config(), replications=1)]
+        )
+        assert result["m"].mean("utilization") > 0
+
+
+class TestGridValidation:
+    def test_duplicate_keys_rejected(self):
+        pts = [SweepPoint(key="m", config=_mirror_config(), replications=1)] * 2
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(jobs=1).run(pts)
+
+    def test_bad_config_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepPoint(key="x", config=object())
+
+    def test_bad_replications_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepPoint(key="x", config=_mirror_config(), replications=0)
+
+
+class TestResultViews:
+    def test_table_and_to_sweep(self):
+        grid = SweepExecutor(jobs=1).run(_grid(replications=1))
+        headers, rows = grid.table(["utilization", "mean_access_time"],
+                                   keys=["mirror/b=50", "mirror/b=80"])
+        assert headers == ["point", "utilization", "mean_access_time"]
+        assert len(rows) == 2 and rows[0][0] == "mirror/b=50"
+        sweep = grid.to_sweep(
+            "utilization", x="x", x_label="b",
+            title="utilization vs bandwidth",
+        )
+        series = sweep.get("utilization")
+        # to_sweep orders by the x meta; full-sim sits at x=0.
+        assert list(series.x) == [0.0, 50.0, 80.0]
+
+    def test_to_sweep_requires_x_meta(self):
+        grid = SweepExecutor(jobs=1).run(
+            [SweepPoint(key="m", config=_mirror_config(), replications=1)]
+        )
+        with pytest.raises(ConfigurationError):
+            grid.to_sweep("utilization", x="missing")
+
+    def test_raw_outputs_exposed(self):
+        grid = SweepExecutor(jobs=1).run(
+            [SweepPoint(key="m", config=_mirror_config(), replications=2)]
+        )
+        assert len(grid.raw["m"]) == 2
+        assert grid.point("m").replications == 2
+
+
+class TestSessionEngine:
+    def test_default_engine_is_uncached(self):
+        engine = current_engine()
+        assert engine.cache_dir is None
+
+    def test_sweep_session_scopes_engine(self, tmp_path):
+        engine = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        with sweep_session(engine):
+            assert current_engine() is engine
+        assert current_engine() is not engine
+
+    def test_sweep_session_none_is_noop(self):
+        before = current_engine()
+        with sweep_session(None):
+            assert current_engine().cache_dir == before.cache_dir
+
+    def test_map_grid_preserves_order(self):
+        assert SweepExecutor(jobs=1).map_grid(_square, [3, 1, 2]) == [9, 1, 4]
+
+
+class TestSpawnSeeds:
+    def test_spawned_seeds_deterministic_and_distinct(self):
+        pts = [
+            SweepPoint(key="a", config=_mirror_config(seed=0), replications=1),
+            SweepPoint(key="b", config=_mirror_config(seed=0), replications=1),
+        ]
+        r1 = SweepExecutor(jobs=1, seed=11).run(pts, spawn_seeds=True)
+        r2 = SweepExecutor(jobs=1, seed=11).run(pts, spawn_seeds=True)
+        for key in r1:
+            _assert_identical(r1[key], r2[key])
+        # Same config, different spawned seeds -> different realisations.
+        assert not np.array_equal(
+            r1["a"]["mean_access_time"], r1["b"]["mean_access_time"]
+        )
+
+
+# Module-level so the pool can pickle it.
+def _square(x):
+    return x * x

@@ -43,3 +43,26 @@ class TestCLI:
         parser = build_parser()
         args = parser.parse_args(["fig2", "--fast", "--no-plots"])
         assert args.experiment == "fig2" and args.fast and args.no_plots
+
+    def test_sweep_flag_default_dir(self):
+        from repro.cli import DEFAULT_SWEEP_CACHE
+
+        parser = build_parser()
+        assert parser.parse_args(["fig1"]).sweep is None
+        assert parser.parse_args(["fig1", "--sweep"]).sweep == DEFAULT_SWEEP_CACHE
+        assert parser.parse_args(["fig1", "--sweep", "d"]).sweep == "d"
+
+    def test_sweep_cache_warm_rerun(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = ["load-impedance", "--fast", "--no-plots", "--sweep", str(cache)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0 point(s) served from cache, 6 simulated" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "6 point(s) served from cache, 0 simulated" in warm
+        # Cached and simulated reports are identical (modulo the run
+        # record line, which carries wall-clock).
+        strip = lambda text: [l for l in text.splitlines()
+                              if not l.startswith("run:") and "sweep cache" not in l]
+        assert strip(cold) == strip(warm)

@@ -1,0 +1,101 @@
+"""Bit-identity of the vectorized workload fast paths.
+
+The batched samplers (`ZipfCatalog.sample_batch`, vectorized
+`MarkovChainSource.generate`) must consume the underlying uniform stream
+*exactly* like the per-draw paths — same items out, same generator state
+after — so batch and scalar generation are interchangeable mid-stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workload.markov_source import MarkovChainSource
+from repro.workload.zipf import ZipfCatalog
+
+
+def _state(rng):
+    return rng.bit_generator.state
+
+
+class TestZipfBatch:
+    def test_batch_equals_scalar_draws(self):
+        cat = ZipfCatalog(200, exponent=1.1)
+        r_scalar = np.random.default_rng(42)
+        r_batch = np.random.default_rng(42)
+        scalar = [cat.sample(r_scalar) for _ in range(257)]
+        batch = cat.sample_batch(r_batch, 257)
+        assert scalar == list(batch)
+        assert _state(r_scalar) == _state(r_batch)
+
+    def test_sample_with_size_delegates_to_batch(self):
+        cat = ZipfCatalog(50)
+        a = cat.sample(np.random.default_rng(1), size=100)
+        b = cat.sample_batch(np.random.default_rng(1), 100)
+        assert np.array_equal(a, b)
+
+    def test_interleaved_batch_and_scalar(self):
+        cat = ZipfCatalog(80, exponent=0.7)
+        r_ref = np.random.default_rng(9)
+        r_mix = np.random.default_rng(9)
+        ref = [cat.sample(r_ref) for _ in range(60)]
+        mix = (
+            list(cat.sample_batch(r_mix, 25))
+            + [cat.sample(r_mix) for _ in range(10)]
+            + list(cat.sample_batch(r_mix, 25))
+        )
+        assert ref == mix
+
+    def test_zipf_indices_matches_sample(self):
+        cat = ZipfCatalog(64, exponent=1.0)
+        uniforms = np.random.default_rng(3).random(100)
+        idx = cat.zipf_indices(uniforms)
+        r = np.random.default_rng(3)
+        assert list(idx) == [cat.sample(r) for _ in range(100)]
+
+
+class TestMarkovGenerateBatch:
+    @pytest.mark.parametrize("q", [0.0, 0.3, 0.8, 1.0])
+    @pytest.mark.parametrize("count", [0, 1, 2, 7, 1000])
+    def test_generate_bit_identical_to_next_item(self, q, count):
+        cat = ZipfCatalog(50, exponent=0.9)
+        scalar = MarkovChainSource(cat, follow_probability=q,
+                                   rng=np.random.default_rng(5))
+        batched = MarkovChainSource(cat, follow_probability=q,
+                                    rng=np.random.default_rng(5))
+        assert [scalar.next_item() for _ in range(count)] == batched.generate(count)
+        # Generator state and chain state advanced identically: the next
+        # draws continue in lock-step on both paths.
+        assert _state(scalar._rng) == _state(batched._rng)
+        assert [scalar.next_item() for _ in range(5)] == batched.generate(5)
+
+    def test_interleaved_generate_and_next_item(self):
+        cat = ZipfCatalog(40, exponent=1.0)
+        ref = MarkovChainSource(cat, follow_probability=0.6,
+                                rng=np.random.default_rng(11))
+        mix = MarkovChainSource(cat, follow_probability=0.6,
+                                rng=np.random.default_rng(11))
+        expected = [ref.next_item() for _ in range(120)]
+        got = (
+            mix.generate(50)
+            + [mix.next_item() for _ in range(20)]
+            + mix.generate(50)
+        )
+        assert expected == got
+
+    def test_generate_spans_block_boundaries(self):
+        # High miss rate (q small) forces many two-uniform steps, so the
+        # committed catalogue draw regularly lands in the next block.
+        cat = ZipfCatalog(30, exponent=0.5)
+        a = MarkovChainSource(cat, follow_probability=0.05,
+                              rng=np.random.default_rng(21))
+        b = MarkovChainSource(cat, follow_probability=0.05,
+                              rng=np.random.default_rng(21))
+        assert [a.next_item() for _ in range(500)] == b.generate(500)
+        assert _state(a._rng) == _state(b._rng)
+
+    def test_generate_nonpositive_count(self):
+        src = MarkovChainSource(ZipfCatalog(10), rng=np.random.default_rng(0))
+        state_before = _state(src._rng)
+        assert src.generate(0) == []
+        assert src.generate(-3) == []
+        assert _state(src._rng) == state_before
