@@ -13,6 +13,11 @@ Regenerate Figure 2 (prints the series and an ASCII plot)::
 Run everything quickly and save reports::
 
     python -m repro all --fast --output-dir reports/
+
+Record a workload trace, then replay it under every prefetch policy::
+
+    python -m repro record-trace --trace run.jsonl --trace-duration 120
+    python -m repro trace-replay --trace run.jsonl
 """
 
 from __future__ import annotations
@@ -41,8 +46,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment id (see --list) or 'all'",
+        help="experiment id (see --list), 'all', or 'record-trace'",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "trace file (.csv/.jsonl): the output of 'record-trace', or the "
+            "recorded stream the 'trace-replay' experiment replays instead "
+            "of generating its own"
+        ),
+    )
+    trace_opts = parser.add_argument_group(
+        "record-trace options (with the 'record-trace' command)"
+    )
+    trace_opts.add_argument("--trace-duration", type=float, default=120.0,
+                            metavar="T", help="recording horizon (default 120)")
+    trace_opts.add_argument("--trace-seed", type=int, default=0, metavar="S",
+                            help="workload seed (default 0)")
+    trace_opts.add_argument("--trace-clients", type=int, default=4, metavar="N",
+                            help="client count (default 4)")
+    trace_opts.add_argument("--trace-rate", type=float, default=30.0,
+                            metavar="LAMBDA",
+                            help="aggregate request rate (default 30)")
+    trace_opts.add_argument("--trace-catalog", type=int, default=500,
+                            metavar="N", help="catalogue size (default 500)")
+    trace_opts.add_argument("--trace-follow", type=float, default=0.7,
+                            metavar="Q",
+                            help="Markov follow probability (default 0.7)")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--fast",
@@ -92,8 +125,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _record_trace(args: argparse.Namespace) -> int:
+    """``record-trace``: realise a workload spec as a trace file."""
+    from repro.workload.sessions import WorkloadSpec, generate_trace
+    from repro.workload.trace import save_trace
+
+    if args.trace is None:
+        print("record-trace needs --trace PATH (.csv or .jsonl)",
+              file=sys.stderr)
+        return 2
+    spec = WorkloadSpec(
+        num_clients=args.trace_clients,
+        request_rate=args.trace_rate,
+        catalog_size=args.trace_catalog,
+        follow_probability=args.trace_follow,
+    )
+    records = generate_trace(
+        spec, duration=args.trace_duration, seed=args.trace_seed
+    )
+    count = save_trace(records, args.trace)
+    print(
+        f"recorded {count} requests over {args.trace_duration}s "
+        f"({args.trace_clients} client(s), seed {args.trace_seed}) "
+        f"-> {args.trace}"
+    )
+    return 0
+
+
 def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
     experiment = get_experiment(experiment_id)
+    if args.trace is not None and hasattr(experiment, "trace_path"):
+        experiment.trace_path = args.trace
     result = experiment.run(fast=args.fast, jobs=args.jobs)
     report = result.render(plots=not args.no_plots)
     if args.csv_dir is not None:
@@ -113,6 +175,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     registry = all_experiments()
+    if args.experiment == "record-trace":
+        return _record_trace(args)
     if args.list or not args.experiment:
         print("available experiments:")
         for key in sorted(registry):
@@ -120,6 +184,17 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {key:18s} {exp.paper_artifact:45s} {exp.description}")
         return 0
     targets = sorted(registry) if args.experiment == "all" else [args.experiment]
+    if args.trace is not None:
+        # hasattr on the experiment class: trace_path is a class attribute
+        # of trace-aware experiments, no need to instantiate
+        known = [t for t in targets if t in registry]
+        if known and not any(hasattr(registry[t], "trace_path") for t in known):
+            print(
+                f"warning: --trace is only consumed by trace-aware "
+                f"experiments (e.g. trace-replay); {args.experiment!r} "
+                f"ignores it",
+                file=sys.stderr,
+            )
     # --sweep routes every experiment's grids through one session engine
     # with an on-disk result cache; --jobs sizes its shared pool (the
     # engine inherits the session default set by Experiment.run).

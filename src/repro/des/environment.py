@@ -225,6 +225,28 @@ class Environment:
         heappush(self._queue, (self._now + delay, NORMAL, eid, event))
         return event
 
+    def at(self, time: float, value: Any = None) -> Timeout:
+        """An event firing at *absolute* simulation time ``time``.
+
+        Unlike ``timeout(time - env.now)``, the queue entry carries ``time``
+        itself, so a schedule built from absolute timestamps (e.g. trace
+        replay) reproduces them exactly instead of accumulating float error
+        through repeated ``now + delay`` round trips.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"at({time!r}) is in the past (now={self._now!r})"
+            )
+        event = Timeout.__new__(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._ok = True
+        event._value = value
+        event.delay = time - self._now
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (time, NORMAL, eid, event))
+        return event
+
     def process(self, generator: Generator[Any, Any, Any]) -> Process:
         """Start a process from a generator; returns its completion event."""
         return Process(self, generator)

@@ -14,6 +14,7 @@ from repro.experiments import (  # noqa: F401 - imports register experiments
     policy_ablation,
     sim_vs_analytic,
     threshold_claims,
+    trace_replay,
 )
 from repro.experiments.base import (
     Experiment,

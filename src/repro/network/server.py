@@ -37,7 +37,12 @@ class OriginServer:
         distinct item (stable sizes — a second fetch of the same item has
         the same size).
     rng:
-        Required when ``sizes`` is a distribution.
+        Required when ``sizes`` (or ``fallback``) is a distribution.
+    fallback:
+        Optional size distribution for items missing from a ``sizes``
+        *mapping* (trace replay: recorded items carry trace sizes, while
+        prefetch candidates outside the trace are sampled lazily).  Only
+        meaningful with a mapping.
     """
 
     def __init__(
@@ -46,6 +51,7 @@ class OriginServer:
         sizes: Mapping[Hashable, float] | SizeDistribution | None = None,
         *,
         rng: np.random.Generator | None = None,
+        fallback: SizeDistribution | None = None,
     ) -> None:
         self.link = link
         if sizes is None:
@@ -53,6 +59,10 @@ class OriginServer:
         self._size_map: dict[Hashable, float]
         self._size_dist: SizeDistribution | None
         if isinstance(sizes, SizeDistribution):
+            if fallback is not None:
+                raise ParameterError(
+                    "fallback only applies when sizes is a mapping"
+                )
             self._size_map = {}
             self._size_dist = sizes
             if rng is None:
@@ -63,8 +73,10 @@ class OriginServer:
             for item, size in self._size_map.items():
                 if size <= 0:
                     raise ParameterError(f"item {item!r} has non-positive size {size!r}")
-            self._size_dist = None
-            self._rng = rng  # unused
+            self._size_dist = fallback
+            if fallback is not None and rng is None:
+                raise ParameterError("a fallback size distribution needs an rng")
+            self._rng = rng  # unused without a fallback distribution
         self.demand_count: Counter = Counter()
         self.prefetch_count: Counter = Counter()
 

@@ -149,6 +149,13 @@ class PrefetchController:
         """A fetch was cancelled/aborted; release the in-flight slot."""
         self._in_flight.discard(item)
 
+    def on_plan_superseded(self, item: Hashable) -> None:
+        """A planned item turned out to already have a fetch pending, so
+        the caller spawned nothing: undo the issue count.  The in-flight
+        mark stays — the existing fetch's completion clears it, and it
+        keeps the item out of further plans meanwhile."""
+        self.stats.prefetches_issued -= 1
+
     # ------------------------------------------------------------------
     # Prefetch planning
     # ------------------------------------------------------------------

@@ -55,6 +55,15 @@ class SimulationConfig:
         the §4 dynamic estimate instead (forces ``threshold-dynamic``).
     duration / warmup / seed:
         Run control.  ``prediction_limit`` caps candidates per request.
+    trace_path:
+        Optional recorded trace (.csv/.jsonl, see
+        :mod:`repro.workload.trace`).  When set, the synthetic Poisson
+        arrival machinery is replaced by exact replay of the recorded
+        request stream (see :mod:`repro.workload.replay`): client count,
+        request timestamps, items and sizes all come from the trace, while
+        caches, predictors, policies and link contention still run live.
+        The workload spec keeps supplying the catalogue/locality parameters
+        predictors and the ``true-distribution`` oracle need.
     """
 
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
@@ -70,6 +79,7 @@ class SimulationConfig:
     warmup: float = 40.0
     seed: int = 0
     prediction_limit: int = 16
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
@@ -90,6 +100,8 @@ class SimulationConfig:
             raise ConfigurationError("duration must exceed warmup")
         if self.prediction_limit < 1:
             raise ConfigurationError("prediction_limit must be >= 1")
+        if self.trace_path is not None:
+            self.trace_path = str(self.trace_path)  # accept PathLike
         if self.policy == "threshold-static" and self.assumed_hit_ratio is None:
             raise ConfigurationError(
                 "threshold-static needs assumed_hit_ratio (or use threshold-dynamic)"

@@ -12,7 +12,13 @@ exclusion:
 
 Warmup handling: the collector ignores everything before ``warmup_time``;
 interval statistics (busy time) are measured from a snapshot taken at the
-warmup boundary.
+warmup boundary.  Observations that *straddle* the boundary are gated on
+their **issue** time, not their completion time: a request issued during
+warmup but completing after it belongs to the excluded transient (its
+access time is measured from a pre-warmup ``t0``, which would otherwise
+leak inflated values into the steady-state mean), so callers pass
+``issued_at`` and the collector drops anything issued before
+``warmup_time``.
 """
 
 from __future__ import annotations
@@ -102,8 +108,23 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     # Observations (called by client processes)
     # ------------------------------------------------------------------
-    def record_request(self, *, hit: bool, access_time: float, tagged_hit: bool = False) -> None:
-        if not self._measuring:
+    def _in_window(self, issued_at: Optional[float]) -> bool:
+        """Issue-time gate: an observation counts iff it was *issued* in the
+        measurement window.  ``issued_at=None`` keeps the legacy
+        completion-time gate for callers without issue timestamps."""
+        if issued_at is None:
+            return self._measuring
+        return issued_at >= self.warmup_time
+
+    def record_request(
+        self,
+        *,
+        hit: bool,
+        access_time: float,
+        tagged_hit: bool = False,
+        issued_at: Optional[float] = None,
+    ) -> None:
+        if not self._in_window(issued_at):
             return
         self._requests += 1
         if hit:
@@ -117,9 +138,15 @@ class MetricsCollector:
             return
         self._prefetches += count
 
-    def record_retrieval(self, retrieval_time: float, *, prefetch: bool = False) -> None:
+    def record_retrieval(
+        self,
+        retrieval_time: float,
+        *,
+        prefetch: bool = False,
+        issued_at: Optional[float] = None,
+    ) -> None:
         """A completed fetch's sojourn time (demand or prefetch)."""
-        if not self._measuring:
+        if not self._in_window(issued_at):
             return
         self._retrieval_time_accum += retrieval_time
         (self.prefetch_retrieval if prefetch else self.demand_retrieval).record(

@@ -10,12 +10,22 @@ models from the eviction policy.
 Request path (per client):
 
 1. Poisson-timed request for the next item of the client's Markov/Zipf
-   stream.
+   stream — or, when ``config.trace_path`` attaches a recorded trace, the
+   exact recorded timestamp/item sequence (see
+   :mod:`repro.workload.replay`): the arrival *driver* is swapped, the
+   request path below is shared.
 2. Cache lookup (§4 tag discipline applied) → hit costs zero access time.
 3. On a miss: if the item is already being prefetched, *join* the pending
-   fetch (access time = remaining transfer time); otherwise demand-fetch.
+   fetch (access time = remaining transfer time); a joined prefetch that
+   fails mid-flight wakes the joiner, which falls back to a demand fetch.
+   Otherwise demand-fetch.
 4. After the request, the controller plans prefetches; each runs as its
-   own process and inserts untagged on completion.
+   own process and inserts untagged on completion.  Planned items that
+   already have a fetch pending are skipped (re-spawning would orphan the
+   joiners of the earlier fetch).
+
+Metrics are gated on *issue* time: a request or fetch issued during warmup
+is excluded even when it completes inside the measurement window.
 """
 
 from __future__ import annotations
@@ -53,6 +63,7 @@ from repro.prefetch import (
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.workload.markov_source import MarkovChainSource
+from repro.workload.replay import TraceReplaySource
 
 __all__ = ["Simulation", "run_simulation", "SimulationOutput"]
 
@@ -158,9 +169,21 @@ class Simulation:
         self.env = Environment()
         self.link = SharedLink(self.env, bandwidth=config.bandwidth)
         spec = config.workload
-        self.origin = OriginServer(
-            self.link, spec.make_sizes(), rng=self.streams.get("origin/sizes")
-        )
+        self.replay: TraceReplaySource | None = None
+        if config.trace_path is not None:
+            self.replay = TraceReplaySource.from_file(config.trace_path)
+            # Recorded items keep their recorded sizes; prefetch candidates
+            # outside the trace fall back to the spec's distribution.
+            self.origin = OriginServer(
+                self.link,
+                self.replay.size_map(),
+                rng=self.streams.get("origin/sizes"),
+                fallback=spec.make_sizes(),
+            )
+        else:
+            self.origin = OriginServer(
+                self.link, spec.make_sizes(), rng=self.streams.get("origin/sizes")
+            )
         self.collector = MetricsCollector(
             self.env, self.link, warmup_time=config.warmup
         )
@@ -169,11 +192,18 @@ class Simulation:
         self._build_clients()
 
     # ------------------------------------------------------------------
+    @property
+    def num_clients(self) -> int:
+        """Client count: from the trace when replaying, else the spec."""
+        if self.replay is not None:
+            return self.replay.num_clients
+        return self.config.workload.num_clients
+
     def _build_clients(self) -> None:
         config = self.config
         spec = config.workload
         self.env.process(self.collector.warmup_process())
-        for c in range(spec.num_clients):
+        for c in range(self.num_clients):
             source = spec.make_source(c, self.streams)
             predictor = _build_predictor(config, source)
             estimator = ThresholdEstimator(
@@ -195,14 +225,23 @@ class Simulation:
             )
             self.clients.append(controller)
             self._caches.append(cache)
-            self.env.process(self._client_process(c, source, controller))
+            if self.replay is not None:
+                self.env.process(
+                    self._trace_client_process(
+                        c, self.replay.client_records(c), controller
+                    )
+                )
+            else:
+                self.env.process(self._client_process(c, source, controller))
 
     # ------------------------------------------------------------------
-    def _client_process(self, client_id: int, source, controller):
-        config = self.config
-        spec = config.workload
-        arrivals = spec.make_arrivals()
-        arrival_rng = self.streams.get(f"client{client_id}/arrivals")
+    def _request_handler(self, client_id: int, controller):
+        """The per-client request path, shared by both arrival drivers.
+
+        Returns a ``handle_request(item)`` process function closed over the
+        client's ``pending`` map (item -> completion event of a mid-flight
+        prefetch, which demand requests for the same item *join*).
+        """
         pending: dict[Hashable, Event] = {}  # item -> completion event
 
         def prefetch_process(item: Hashable):
@@ -210,9 +249,17 @@ class Simulation:
                 result = yield self.origin.fetch(
                     item, kind="prefetch", client=client_id
                 )
-            except Exception:
+            except Exception as exc:
                 controller.on_fetch_failed(item)
-                pending.pop(item, None)
+                # Wake any joiners before dropping the pending entry: an
+                # untriggered orphan would suspend them forever (and lose
+                # their requests from the metrics).  They fall back to a
+                # demand fetch.  With no joiners the event is simply
+                # dropped untriggered — failing it would crash the run via
+                # the environment's unhandled-failure check.
+                ev = pending.pop(item, None)
+                if ev is not None and not ev.triggered and ev.callbacks:
+                    ev.fail(exc)
                 return
             controller.on_fetch_complete(
                 item,
@@ -220,7 +267,11 @@ class Simulation:
                 size=result.request.size,
                 prefetched=True,
             )
-            self.collector.record_retrieval(result.retrieval_time, prefetch=True)
+            self.collector.record_retrieval(
+                result.retrieval_time,
+                prefetch=True,
+                issued_at=result.request.issued_at,
+            )
             ev = pending.pop(item, None)
             if ev is not None and not ev.triggered:
                 ev.succeed(result)
@@ -231,29 +282,86 @@ class Simulation:
             outcome = controller.on_user_access(item, now=t0, size=size)
             if outcome.hit:
                 self.collector.record_request(
-                    hit=True, access_time=0.0, tagged_hit=outcome.kind == "tagged_hit"
+                    hit=True,
+                    access_time=0.0,
+                    tagged_hit=outcome.kind == "tagged_hit",
+                    issued_at=t0,
                 )
             elif item in pending:
                 # A prefetch for this item is mid-flight: wait for it.
-                yield pending[item]
-                self.collector.record_request(hit=False, access_time=self.env.now - t0)
+                try:
+                    yield pending[item]
+                except Exception:
+                    # The joined prefetch failed: recover with a demand
+                    # fetch so the request still completes (and is still
+                    # measured).  The first joiner to wake re-registers a
+                    # pending entry for its recovery fetch, so the other
+                    # joiners (woken by the same failure) join that one
+                    # transfer instead of each fetching independently.
+                    recovery = pending.get(item)
+                    if recovery is not None:
+                        yield recovery
+                    else:
+                        recovery = Event(self.env)
+                        pending[item] = recovery
+                        result = yield self.origin.fetch(
+                            item, kind="demand", client=client_id
+                        )
+                        controller.on_fetch_complete(
+                            item,
+                            now=self.env.now,
+                            size=result.request.size,
+                            prefetched=False,
+                        )
+                        self.collector.record_retrieval(
+                            result.retrieval_time,
+                            issued_at=result.request.issued_at,
+                        )
+                        ev = pending.pop(item, None)
+                        if ev is not None and not ev.triggered:
+                            ev.succeed(result)
+                self.collector.record_request(
+                    hit=False, access_time=self.env.now - t0, issued_at=t0
+                )
             else:
                 result = yield self.origin.fetch(item, kind="demand", client=client_id)
                 controller.on_fetch_complete(
                     item, now=self.env.now, size=result.request.size, prefetched=False
                 )
-                self.collector.record_request(hit=False, access_time=self.env.now - t0)
-                self.collector.record_retrieval(result.retrieval_time)
-            # Plan speculative fetches triggered by this request.
+                self.collector.record_request(
+                    hit=False, access_time=self.env.now - t0, issued_at=t0
+                )
+                self.collector.record_retrieval(
+                    result.retrieval_time, issued_at=result.request.issued_at
+                )
+            # Plan speculative fetches triggered by this request.  Items
+            # with a fetch already pending are skipped: overwriting the
+            # pending event would orphan its joiners (a demand completion
+            # clears the controller's in-flight mark even while a prefetch
+            # of the same item is mid-air, so the policy can legitimately
+            # re-choose one).
             chosen = controller.plan(
                 now=self.env.now,
                 estimated_utilization=self.link.offered_load(),
             )
-            self.collector.record_prefetch_issued(len(chosen))
-            for chosen_item, _prob in chosen:
+            fresh = [(it, p) for it, p in chosen if it not in pending]
+            for it, _p in chosen:
+                if it in pending:
+                    controller.on_plan_superseded(it)
+            self.collector.record_prefetch_issued(len(fresh))
+            for chosen_item, _prob in fresh:
                 ev = Event(self.env)
                 pending[chosen_item] = ev
                 self.env.process(prefetch_process(chosen_item))
+
+        return handle_request
+
+    # ------------------------------------------------------------------
+    def _client_process(self, client_id: int, source, controller):
+        spec = self.config.workload
+        arrivals = spec.make_arrivals(client_id)
+        arrival_rng = self.streams.get(f"client{client_id}/arrivals")
+        handle_request = self._request_handler(client_id, controller)
 
         # Batched reference stream: bit-identical to per-request
         # next_item() because the items RNG is dedicated per client.
@@ -265,6 +373,18 @@ class Simulation:
             # request rate is unaffected by congestion or prefetching —
             # exactly the paper's §2.1 assumption.
             self.env.process(handle_request(item))
+
+    def _trace_client_process(self, client_id: int, records, controller):
+        """Replay driver: issue this client's records at their exact
+        recorded timestamps (absolute-time scheduling, no float drift)."""
+        handle_request = self._request_handler(client_id, controller)
+        for record in records:
+            if record.time > self.config.duration:
+                break  # the run would end before this request fires
+            yield self.env.at(record.time)
+            # Same open-loop spawn as the synthetic driver: replayed
+            # arrivals are never delayed by congestion either.
+            self.env.process(handle_request(record.item))
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationOutput:

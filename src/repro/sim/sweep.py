@@ -75,7 +75,8 @@ __all__ = [
 
 #: Bump when the stored result layout (or anything the hash cannot see,
 #: e.g. metric definitions) changes incompatibly.
-CACHE_SCHEMA_VERSION = 1
+#: v2: warmup gating moved from completion time to issue time (PR 3).
+CACHE_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -124,7 +125,17 @@ def scenario_hash(
 
     Raises :class:`TypeError`/``pickle.PicklingError`` for configs carrying
     unhashable run-time objects — such points simply run uncached.
+
+    Trace-driven configs are keyed by the trace file's *content digest*,
+    not its path: a warm cache survives the trace moving (or being
+    regenerated bit-identically in a temp dir) and is invalidated the
+    moment the file's bytes change.
     """
+    trace_path = getattr(config, "trace_path", None)
+    if trace_path is not None:
+        from repro.workload.replay import trace_digest
+
+        config = replace(config, trace_path=f"sha256:{trace_digest(trace_path)}")
     material = (
         "repro-sweep",
         CACHE_SCHEMA_VERSION,

@@ -7,7 +7,12 @@ from repro.workload.arrivals import (
     WeibullArrivals,
 )
 from repro.workload.markov_source import MarkovChainSource
-from repro.workload.sessions import WorkloadSpec, generate_trace
+from repro.workload.replay import TraceReplaySource, trace_digest
+from repro.workload.sessions import (
+    CLIENT_OVERRIDE_FIELDS,
+    WorkloadSpec,
+    generate_trace,
+)
 from repro.workload.sizes import (
     ExponentialSize,
     FixedSize,
@@ -20,6 +25,7 @@ from repro.workload.zipf import ZipfCatalog
 
 __all__ = [
     "ArrivalProcess",
+    "CLIENT_OVERRIDE_FIELDS",
     "DeterministicArrivals",
     "ExponentialSize",
     "FixedSize",
@@ -29,10 +35,12 @@ __all__ = [
     "PoissonArrivals",
     "SizeDistribution",
     "TraceRecord",
+    "TraceReplaySource",
     "WeibullArrivals",
     "WorkloadSpec",
     "ZipfCatalog",
     "generate_trace",
     "load_trace",
     "save_trace",
+    "trace_digest",
 ]

@@ -1,0 +1,122 @@
+"""Trace replay: feed a recorded request stream back through the DES.
+
+:mod:`repro.workload.trace` defines the on-disk format; this module turns a
+loaded trace into something the full simulation can *drive*:
+
+* :class:`TraceReplaySource` — a per-client demultiplexer over a merged,
+  time-ordered trace.  Each client's records keep their exact recorded
+  timestamps, so a replayed run issues the byte-identical request sequence
+  of the recording — unlike the synthetic path, where every policy under
+  comparison perturbs the RNG stream differently.
+* :func:`trace_digest` — content hash of a trace file, used by the sweep
+  engine's result cache so a cached trace-driven point is invalidated when
+  (and only when) the trace file's bytes change.
+
+The replay contract with :class:`repro.sim.simulation.Simulation`:
+
+* ``SimulationConfig.trace_path`` attaches a trace; the Poisson arrival
+  process is replaced by the recorded timestamps (scheduled at *absolute*
+  simulation times via :meth:`Environment.at`, so replays are exact, not
+  cumulative-float-drift approximations),
+* item sizes recorded in the trace become the origin's size map (first
+  record of an item wins; prefetch candidates outside the trace fall back
+  to the workload spec's size distribution),
+* everything downstream of arrival — cache lookups, prefetch planning,
+  link contention — still *emerges* from the simulation, which is the
+  point: one fixed workload, many competing policies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import TraceFormatError
+from repro.workload.trace import TraceRecord, _check_sorted, load_trace
+
+__all__ = ["TraceReplaySource", "trace_digest"]
+
+
+def trace_digest(path: str | Path) -> str:
+    """SHA-256 of the trace file's bytes (the replay cache identity)."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"trace file not found: {path}")
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class TraceReplaySource:
+    """Per-client demultiplexer over a merged, time-ordered trace.
+
+    Parameters
+    ----------
+    records:
+        The merged trace (as produced by :func:`~repro.workload.sessions.
+        generate_trace` or :func:`~repro.workload.trace.load_trace`); must
+        be non-empty and time-ordered.
+    num_clients:
+        Optional override for the client count; defaults to
+        ``max(client id) + 1`` so client ids map onto simulation clients
+        directly.  Clients without records simply stay idle.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[TraceRecord],
+        *,
+        num_clients: int | None = None,
+    ) -> None:
+        self.records: tuple[TraceRecord, ...] = tuple(records)
+        if not self.records:
+            raise TraceFormatError("cannot replay an empty trace")
+        _check_sorted(list(self.records))
+        by_client: dict[int, list[TraceRecord]] = {}
+        for record in self.records:
+            if record.client < 0:
+                raise TraceFormatError(f"negative client id {record.client!r}")
+            by_client.setdefault(record.client, []).append(record)
+        inferred = max(by_client) + 1
+        if num_clients is None:
+            num_clients = inferred
+        elif num_clients < inferred:
+            raise TraceFormatError(
+                f"trace references client {inferred - 1} but num_clients="
+                f"{num_clients}"
+            )
+        self.num_clients = int(num_clients)
+        self._by_client = {c: tuple(rs) for c, rs in by_client.items()}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_file(cls, path: str | Path, *, num_clients: int | None = None
+                  ) -> "TraceReplaySource":
+        """Load and demux a trace file (.csv or .jsonl)."""
+        return cls(load_trace(path), num_clients=num_clients)
+
+    # ------------------------------------------------------------------
+    def client_records(self, client: int) -> tuple[TraceRecord, ...]:
+        """That client's records, in recorded order (empty if it has none)."""
+        return self._by_client.get(client, ())
+
+    def size_map(self) -> dict[int, float]:
+        """``item -> size`` from the trace, first record of an item winning
+        (matching the origin's stable-size contract)."""
+        sizes: dict[int, float] = {}
+        for record in self.records:
+            sizes.setdefault(record.item, record.size)
+        return sizes
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the last record."""
+        return self.records[-1].time
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TraceReplaySource {len(self.records)} records, "
+            f"{self.num_clients} client(s), ends at {self.end_time:.3f}>"
+        )

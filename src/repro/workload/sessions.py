@@ -6,12 +6,22 @@ network through a common proxy" at aggregate rate λ.  A
 per-client rate, reference locality, item sizes); :func:`generate_trace`
 realises it as a merged, time-ordered trace for trace-driven runs, and the
 live simulation consumes the same spec directly.
+
+Populations need not be homogeneous: ``client_overrides`` maps a client id
+to per-client parameter overrides (``request_rate`` — that client's *own*
+rate instead of the λ/N share — ``catalog_size``, ``zipf_exponent``,
+``follow_probability``), so one run can mix hot and cold clients, or
+predictable and noisy ones.  All derived objects (arrival processes,
+reference sources) are built through the per-client accessors, which fall
+back to the homogeneous parameters when no override exists — a spec
+without overrides behaves bit-identically to one predating the feature.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -23,7 +33,15 @@ from repro.workload.sizes import FixedSize, SizeDistribution
 from repro.workload.trace import TraceRecord
 from repro.workload.zipf import ZipfCatalog
 
-__all__ = ["WorkloadSpec", "generate_trace"]
+__all__ = ["WorkloadSpec", "generate_trace", "CLIENT_OVERRIDE_FIELDS"]
+
+#: WorkloadSpec fields that may be overridden per client.
+CLIENT_OVERRIDE_FIELDS = (
+    "request_rate",
+    "catalog_size",
+    "zipf_exponent",
+    "follow_probability",
+)
 
 
 @dataclass
@@ -44,6 +62,11 @@ class WorkloadSpec:
         s̄ for the size distribution.
     size_distribution:
         Optional override; default :class:`FixedSize` (s̄ exactly).
+    client_overrides:
+        ``client id -> {field: value}`` heterogeneous per-client overrides;
+        allowed fields are :data:`CLIENT_OVERRIDE_FIELDS`.  An overridden
+        ``request_rate`` is that client's *own* rate (the others keep their
+        λ/N share), so the aggregate becomes the sum of effective rates.
     """
 
     num_clients: int = 4
@@ -53,6 +76,7 @@ class WorkloadSpec:
     follow_probability: float = 0.0
     mean_item_size: float = 1.0
     size_distribution: SizeDistribution | None = field(default=None, repr=False)
+    client_overrides: Mapping[int, Mapping[str, Any]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
@@ -65,25 +89,62 @@ class WorkloadSpec:
             raise ConfigurationError("follow_probability must be in [0, 1]")
         if self.mean_item_size <= 0:
             raise ConfigurationError("mean_item_size must be > 0")
+        # Canonical int-keyed copy (JSON round trips stringify keys); the
+        # lookups in client_param expect ints.
+        self.client_overrides = {
+            int(client): dict(overrides)
+            for client, overrides in dict(self.client_overrides).items()
+        }
+        for client, overrides in self.client_overrides.items():
+            if not 0 <= int(client) < self.num_clients:
+                raise ConfigurationError(
+                    f"client_overrides for unknown client {client!r} "
+                    f"(num_clients={self.num_clients})"
+                )
+            unknown = set(overrides) - set(CLIENT_OVERRIDE_FIELDS)
+            if unknown:
+                raise ConfigurationError(
+                    f"client {client}: unknown override field(s) {sorted(unknown)}; "
+                    f"allowed: {CLIENT_OVERRIDE_FIELDS}"
+                )
 
     @property
     def per_client_rate(self) -> float:
         return self.request_rate / self.num_clients
 
-    def make_catalog(self) -> ZipfCatalog:
-        return ZipfCatalog(self.catalog_size, self.zipf_exponent)
+    def client_param(self, client: int | None, name: str):
+        """Effective value of ``name`` for ``client`` (override-aware)."""
+        if client is not None:
+            overrides = self.client_overrides.get(client)
+            if overrides and name in overrides:
+                return overrides[name]
+        if name == "request_rate":
+            return self.per_client_rate
+        return getattr(self, name)
+
+    def rate_of(self, client: int | None = None) -> float:
+        """That client's effective request rate (λ/N unless overridden)."""
+        return float(self.client_param(client, "request_rate"))
+
+    def make_catalog(self, client: int | None = None) -> ZipfCatalog:
+        return ZipfCatalog(
+            int(self.client_param(client, "catalog_size")),
+            float(self.client_param(client, "zipf_exponent")),
+        )
 
     def make_sizes(self) -> SizeDistribution:
         return self.size_distribution or FixedSize(self.mean_item_size)
 
-    def make_arrivals(self) -> ArrivalProcess:
-        return PoissonArrivals(self.per_client_rate)
+    def make_arrivals(self, client: int | None = None) -> ArrivalProcess:
+        return PoissonArrivals(self.rate_of(client))
 
     def make_source(self, client: int, streams: RandomStreams) -> MarkovChainSource:
         """Per-client reference source (independent RNG stream)."""
         return MarkovChainSource(
-            self.make_catalog(),
-            follow_probability=self.follow_probability,
+            self.make_catalog(client),
+            follow_probability=float(
+                self.client_param(client, "follow_probability")
+            ),
             rng=streams.get(f"client{client}/items"),
         )
 
@@ -105,7 +166,9 @@ def generate_trace(
     sizes = spec.make_sizes()
     size_rng = streams.get("sizes")
     heap: list[tuple[float, int]] = []
-    arrivals = spec.make_arrivals()
+    # Per-client arrival processes (override-aware; identical draws to one
+    # shared process for homogeneous specs, since the rngs are per client).
+    arrivals = {c: spec.make_arrivals(c) for c in range(spec.num_clients)}
     arrival_rngs = {c: streams.get(f"client{c}/arrivals") for c in range(spec.num_clients)}
     sources = {c: spec.make_source(c, streams) for c in range(spec.num_clients)}
     # Per-client items come from dedicated RNG streams, so each client's
@@ -113,7 +176,7 @@ def generate_trace(
     # to per-record next_item(); trailing unused draws touch nothing else).
     item_streams = {c: sources[c].stream() for c in range(spec.num_clients)}
     for c in range(spec.num_clients):
-        t = arrivals.next_gap(arrival_rngs[c])
+        t = arrivals[c].next_gap(arrival_rngs[c])
         if t <= duration:
             heapq.heappush(heap, (t, c))
     records: list[TraceRecord] = []
@@ -127,7 +190,7 @@ def generate_trace(
                 size=float(sizes.sample(size_rng)),
             )
         )
-        t_next = t + arrivals.next_gap(arrival_rngs[c])
+        t_next = t + arrivals[c].next_gap(arrival_rngs[c])
         if t_next <= duration:
             heapq.heappush(heap, (t_next, c))
     return records

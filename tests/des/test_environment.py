@@ -270,3 +270,57 @@ class TestRunUntilEvent:
         env.run(until=target)
         assert log == ["a", "b"]  # "c" still pending
         assert len(env) > 0
+
+
+class TestAbsoluteTimeScheduling:
+    def test_at_fires_at_exact_absolute_time(self):
+        env = Environment()
+        times = []
+
+        def proc(env):
+            # Walk a schedule of absolute timestamps whose gaps would
+            # accumulate float error through now+delay round trips.
+            for t in (0.1, 0.2, 0.30000000000000004, 1.7):
+                yield env.at(t)
+                times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [0.1, 0.2, 0.30000000000000004, 1.7]  # exact, not approx
+
+    def test_at_now_is_allowed(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            yield env.timeout(2.0)
+            yield env.at(2.0)  # same-time absolute event is fine
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [2.0]
+
+    def test_at_in_the_past_raises(self):
+        from repro.errors import SimulationError
+
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(5.0)
+            env.at(4.0)
+
+        p = env.process(proc(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_at_carries_value(self):
+        env = Environment()
+        got = []
+
+        def proc(env):
+            got.append((yield env.at(1.0, value="payload")))
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["payload"]

@@ -15,6 +15,7 @@ EXPECTED_IDS = {
     "hprime-estimator",
     "load-impedance",
     "policy-ablation",
+    "trace-replay",
 }
 
 

@@ -52,6 +52,47 @@ class TestCLI:
         assert parser.parse_args(["fig1", "--sweep"]).sweep == DEFAULT_SWEEP_CACHE
         assert parser.parse_args(["fig1", "--sweep", "d"]).sweep == "d"
 
+    def test_record_trace_roundtrip(self, tmp_path, capsys):
+        from repro.workload import load_trace
+
+        out = tmp_path / "rec.jsonl"
+        rc = main([
+            "record-trace", "--trace", str(out),
+            "--trace-duration", "10", "--trace-clients", "2",
+            "--trace-rate", "8", "--trace-seed", "3",
+        ])
+        assert rc == 0
+        assert "recorded" in capsys.readouterr().out
+        records = load_trace(out)
+        assert records and records[-1].time <= 10.0
+        assert {r.client for r in records} <= {0, 1}
+
+    def test_record_trace_requires_output_path(self, capsys):
+        assert main(["record-trace"]) == 2
+
+    def test_trace_flag_warns_when_ignored(self, tmp_path, capsys):
+        out = tmp_path / "rec.jsonl"
+        assert main(["record-trace", "--trace", str(out),
+                     "--trace-duration", "5", "--trace-rate", "5"]) == 0
+        capsys.readouterr()
+        assert main(["fig1", "--fast", "--no-plots", "--trace", str(out)]) == 0
+        assert "ignores it" in capsys.readouterr().err
+
+    def test_trace_replay_experiment_with_recorded_trace(self, tmp_path, capsys):
+        out = tmp_path / "rec.jsonl"
+        assert main([
+            "record-trace", "--trace", str(out),
+            "--trace-duration", "20", "--trace-clients", "2",
+            "--trace-rate", "10", "--trace-follow", "0.8",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "trace-replay", "--fast", "--no-plots", "--trace", str(out),
+        ]) == 0
+        report = capsys.readouterr().out
+        assert "identical request sequence" in report
+        assert str(out) in report
+
     def test_sweep_cache_warm_rerun(self, tmp_path, capsys):
         cache = tmp_path / "cache"
         argv = ["load-impedance", "--fast", "--no-plots", "--sweep", str(cache)]

@@ -1,0 +1,146 @@
+"""Tests for the trace-replay source and heterogeneous workload mixes."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.workload import (
+    TraceRecord,
+    TraceReplaySource,
+    WorkloadSpec,
+    generate_trace,
+    save_trace,
+    trace_digest,
+)
+
+
+def records():
+    return [
+        TraceRecord(time=0.5, client=1, item=10, size=2.0),
+        TraceRecord(time=1.0, client=0, item=11, size=1.0),
+        TraceRecord(time=1.5, client=1, item=10, size=3.0),  # size conflict
+        TraceRecord(time=2.0, client=1, item=12, size=1.5),
+    ]
+
+
+class TestTraceReplaySource:
+    def test_demux_preserves_per_client_order(self):
+        src = TraceReplaySource(records())
+        assert [r.item for r in src.client_records(1)] == [10, 10, 12]
+        assert [r.item for r in src.client_records(0)] == [11]
+        assert src.client_records(5) == ()
+
+    def test_num_clients_inferred_from_max_id(self):
+        assert TraceReplaySource(records()).num_clients == 2
+        assert TraceReplaySource(records(), num_clients=4).num_clients == 4
+
+    def test_num_clients_too_small_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceReplaySource(records(), num_clients=1)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceReplaySource([])
+
+    def test_unsorted_trace_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceReplaySource(list(reversed(records())))
+
+    def test_size_map_first_record_wins(self):
+        sizes = TraceReplaySource(records()).size_map()
+        assert sizes == {10: 2.0, 11: 1.0, 12: 1.5}
+
+    def test_end_time_and_len(self):
+        src = TraceReplaySource(records())
+        assert src.end_time == 2.0
+        assert len(src) == 4
+
+    def test_from_file_round_trip(self, tmp_path):
+        path = tmp_path / "t.csv"
+        save_trace(records(), path)
+        src = TraceReplaySource.from_file(path)
+        assert src.records == tuple(records())
+
+
+class TestTraceDigest:
+    def test_digest_changes_with_content(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(records(), path)
+        d1 = trace_digest(path)
+        assert d1 == trace_digest(path)  # stable
+        save_trace(records()[:-1], path)
+        assert trace_digest(path) != d1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            trace_digest(tmp_path / "absent.csv")
+
+
+class TestClientOverrides:
+    def test_effective_parameters(self):
+        spec = WorkloadSpec(
+            num_clients=4,
+            request_rate=20.0,
+            follow_probability=0.5,
+            client_overrides={
+                0: {"request_rate": 9.0, "follow_probability": 0.9},
+                2: {"zipf_exponent": 0.4},
+            },
+        )
+        assert spec.rate_of(0) == 9.0
+        assert spec.rate_of(1) == pytest.approx(5.0)  # λ/N share
+        assert spec.make_arrivals(0).rate == 9.0
+        assert spec.make_catalog(2).exponent == pytest.approx(0.4)
+        assert spec.client_param(0, "follow_probability") == 0.9
+        assert spec.client_param(3, "follow_probability") == 0.5
+
+    def test_override_changes_built_source(self):
+        from repro.des.rng import RandomStreams
+
+        spec = WorkloadSpec(num_clients=2, follow_probability=0.2,
+                            client_overrides={1: {"follow_probability": 0.95}})
+        streams = RandomStreams(0)
+        assert spec.make_source(0, streams).follow_probability == 0.2
+        assert spec.make_source(1, streams).follow_probability == 0.95
+
+    def test_string_keys_normalised(self):
+        """JSON round trips stringify mapping keys; the spec canonicalises
+        them so overrides are never silently dropped."""
+        spec = WorkloadSpec(num_clients=2,
+                            client_overrides={"1": {"request_rate": 9.0}})
+        assert spec.rate_of(1) == 9.0
+        assert set(spec.client_overrides) == {1}
+
+    def test_unknown_client_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(num_clients=2, client_overrides={5: {"request_rate": 1.0}})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(client_overrides={0: {"bandwidth": 1.0}})
+
+    def test_generate_trace_heterogeneous_rates(self):
+        hot_cold = WorkloadSpec(
+            num_clients=2,
+            request_rate=20.0,
+            client_overrides={0: {"request_rate": 18.0},
+                              1: {"request_rate": 2.0}},
+        )
+        trace = generate_trace(hot_cold, duration=100.0, seed=3)
+        counts = {0: 0, 1: 0}
+        for r in trace:
+            counts[r.client] += 1
+        # rates 18 vs 2: the hot client dominates ~9:1
+        assert counts[0] > 5 * counts[1]
+        assert [r.time for r in trace] == sorted(r.time for r in trace)
+
+    def test_no_overrides_unchanged(self):
+        """A spec without overrides generates the identical trace as before
+        the feature (per-client arrival processes draw identically)."""
+        spec = WorkloadSpec(num_clients=3, request_rate=15.0, catalog_size=80)
+        a = generate_trace(spec, duration=40.0, seed=5)
+        b = generate_trace(
+            WorkloadSpec(num_clients=3, request_rate=15.0, catalog_size=80,
+                         client_overrides={}),
+            duration=40.0, seed=5,
+        )
+        assert a == b
