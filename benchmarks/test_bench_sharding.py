@@ -1,0 +1,82 @@
+"""Benchmarks: the sharding experiment + simulator throughput vs proxy count.
+
+Two measurements:
+
+* the ``sharding`` experiment end-to-end (the scale-out artefact: access
+  time vs ``num_proxies`` × policy, plus the routing comparison);
+* raw simulator throughput as the tier grows — the node refactor's cost
+  check: N proxies mean N links/collectors but the *same* request count,
+  so simulated-requests-per-wall-second must stay in the same ballpark
+  while per-proxy utilisation falls.
+
+Run:  pytest benchmarks/test_bench_sharding.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_and_report
+from repro.network.topology import TopologyConfig
+from repro.sim import SimulationConfig, run_simulation
+from repro.workload.sessions import WorkloadSpec
+
+PROXY_COUNTS = (1, 2, 4)
+
+
+def _tier_config(proxies: int) -> SimulationConfig:
+    return SimulationConfig(
+        workload=WorkloadSpec(num_clients=8, request_rate=40.0,
+                              catalog_size=400, zipf_exponent=0.9,
+                              follow_probability=0.7),
+        bandwidth=30.0,
+        cache_capacity=40,
+        predictor="true-distribution",
+        policy="threshold-dynamic",
+        duration=60.0,
+        warmup=12.0,
+        seed=21,
+        topology=TopologyConfig(num_proxies=proxies),
+    )
+
+
+def test_bench_sharding_experiment(benchmark):
+    result = run_and_report(benchmark, "sharding")
+    # proxy-count × policy table + the routing comparison
+    assert len(result.tables) == 2
+    # one prefetching-gain note per swept proxy count
+    assert sum("prefetching gain" in note for note in result.notes) == 2
+
+
+def test_bench_throughput_vs_proxies(benchmark):
+    """Wall-clock a fixed workload across growing tiers."""
+    rows = []
+    for proxies in PROXY_COUNTS:
+        config = _tier_config(proxies)
+        if proxies == PROXY_COUNTS[-1]:
+            out = benchmark.pedantic(
+                lambda c=config: run_simulation(c),
+                rounds=1, iterations=1, warmup_rounds=0,
+            )
+            seconds = benchmark.stats.stats.min
+        else:
+            t0 = time.perf_counter()
+            out = run_simulation(config)
+            seconds = time.perf_counter() - t0
+        # shard conservation: the aggregate is exact, not approximate
+        assert out.metrics.requests == sum(
+            s.metrics.requests for s in out.per_proxy
+        )
+        rows.append(
+            (proxies, out.metrics.requests / seconds, seconds,
+             out.metrics.utilization, out.metrics.mean_access_time)
+        )
+
+    print("\nproxies  sim-req/s   wall-s     rho     t_bar")
+    for proxies, rate, seconds, rho, t_bar in rows:
+        print(f"{proxies:>7}  {rate:>9.0f}  {seconds:>7.2f}  {rho:>6.3f}  {t_bar:.5f}")
+
+    # growing the tier relieves the links…
+    assert rows[-1][3] < rows[0][3]
+    # …and the per-node bookkeeping doesn't crater simulator throughput
+    assert rows[-1][1] > 0.2 * rows[0][1]

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Scaling the proxy tier: one overloaded uplink vs a sharded tier.
+
+The paper's setting is a single proxy whose shared uplink is the
+bottleneck.  This example takes the same browsing population and grows the
+tier sideways with :class:`~repro.network.topology.TopologyConfig`:
+
+* ``num_proxies=1`` — the paper's system, deliberately run hot;
+* ``num_proxies=2/4`` with **client-affinity** routing — clients are
+  partitioned across proxies, each proxy bringing its own uplink;
+* ``num_proxies=4`` with **item-hash** routing — the *catalogue* is
+  sharded on a consistent-hash ring instead, so every client's traffic
+  spreads over all uplinks by content.
+
+Watch three things in the output: mean access time collapses as the tier
+grows, the per-proxy utilisation shards stay balanced, and the prefetching
+gain G (vs no prefetching) flips from negative — prefetching into an
+overloaded link hurts, the paper's §1 warning — to solidly positive once
+the tier has headroom.
+
+Run:  python examples/sharded_proxies.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.network.topology import TopologyConfig
+from repro.sim import SimulationConfig, run_simulation
+from repro.workload import WorkloadSpec
+
+
+def main() -> None:
+    base = SimulationConfig(
+        workload=WorkloadSpec(
+            num_clients=8,             # eight browsing users
+            request_rate=40.0,         # aggregate lambda runs one proxy hot
+            catalog_size=400,
+            zipf_exponent=0.9,
+            follow_probability=0.7,
+        ),
+        bandwidth=30.0,                # per-proxy uplink capacity
+        cache_policy="lru",
+        cache_capacity=40,
+        predictor="true-distribution",
+        policy="threshold-dynamic",
+        duration=160.0,
+        warmup=30.0,
+        seed=2026,
+    )
+
+    tiers = [
+        ("1 proxy (the paper's system)", TopologyConfig(num_proxies=1)),
+        ("2 proxies, client-affinity", TopologyConfig(num_proxies=2)),
+        ("4 proxies, client-affinity", TopologyConfig(num_proxies=4)),
+        ("4 proxies, item-hash", TopologyConfig(num_proxies=4, routing="item-hash")),
+    ]
+
+    print("growing the proxy tier under a fixed 8-client workload...\n")
+    rows = []
+    for label, topology in tiers:
+        out = run_simulation(replace(base, topology=topology))
+        baseline = run_simulation(
+            replace(base, topology=topology, policy="none")
+        )
+        m = out.metrics
+        shard_rho = " ".join(
+            f"{shard.metrics.utilization:.2f}" for shard in out.per_proxy
+        )
+        rows.append(
+            [
+                label,
+                m.mean_access_time,
+                baseline.metrics.mean_access_time - m.mean_access_time,
+                m.hit_ratio,
+                m.utilization,
+                shard_rho,
+            ]
+        )
+    print(
+        format_table(
+            ["tier", "t_bar", "G vs none", "hit ratio", "rho", "per-proxy rho"],
+            rows,
+            precision=4,
+        )
+    )
+    print(
+        "\nreading:\n"
+        "* one proxy runs at rho ~0.9+: retrievals queue, and speculative\n"
+        "  traffic makes it worse (G < 0) — the paper's overload warning;\n"
+        "* each added proxy brings its own uplink, so utilisation falls,\n"
+        "  access time collapses, and the threshold rule finds headroom to\n"
+        "  prefetch again (G turns positive);\n"
+        "* item-hash routing spreads every client over all uplinks by\n"
+        "  catalogue shard — per-proxy load stays near-even without pinning\n"
+        "  clients, at the cost of a slightly hotter popular shard."
+    )
+
+
+if __name__ == "__main__":
+    main()

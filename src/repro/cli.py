@@ -35,6 +35,22 @@ __all__ = ["main", "build_parser"]
 DEFAULT_SWEEP_CACHE = ".repro-sweep-cache"
 
 
+def _proxy_counts(raw: str) -> tuple[int, ...]:
+    """Parse ``--proxies`` ("1,2,8") into a tuple of positive ints."""
+    try:
+        counts = tuple(int(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--proxies wants comma-separated integers, got {raw!r}"
+        ) from None
+    if not counts or any(count < 1 for count in counts):
+        raise argparse.ArgumentTypeError(
+            f"--proxies wants positive proxy counts, got {raw!r}"
+        )
+    # dedupe, keeping order: repeated counts would collide as sweep keys
+    return tuple(dict.fromkeys(counts))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -76,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace_opts.add_argument("--trace-follow", type=float, default=0.7,
                             metavar="Q",
                             help="Markov follow probability (default 0.7)")
+    parser.add_argument(
+        "--proxies",
+        type=_proxy_counts,
+        default=None,
+        metavar="N[,N...]",
+        help=(
+            "proxy counts for the 'sharding' experiment's sweep, e.g. "
+            "'1,2,8' (topology-aware experiments only)"
+        ),
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--fast",
@@ -156,6 +182,8 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
     experiment = get_experiment(experiment_id)
     if args.trace is not None and hasattr(experiment, "trace_path"):
         experiment.trace_path = args.trace
+    if args.proxies is not None and hasattr(experiment, "proxy_counts"):
+        experiment.proxy_counts = args.proxies
     result = experiment.run(fast=args.fast, jobs=args.jobs)
     report = result.render(plots=not args.no_plots)
     if args.csv_dir is not None:
@@ -184,6 +212,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {key:18s} {exp.paper_artifact:45s} {exp.description}")
         return 0
     targets = sorted(registry) if args.experiment == "all" else [args.experiment]
+    if args.proxies is not None:
+        known = [t for t in targets if t in registry]
+        if known and not any(hasattr(registry[t], "proxy_counts") for t in known):
+            print(
+                f"warning: --proxies is only consumed by topology-aware "
+                f"experiments (e.g. sharding); {args.experiment!r} ignores it",
+                file=sys.stderr,
+            )
     if args.trace is not None:
         # hasattr on the experiment class: trace_path is a class attribute
         # of trace-aware experiments, no need to instantiate

@@ -1,0 +1,198 @@
+"""`sharding` — scale the proxy tier out and watch access time fall.
+
+The paper's system is one proxy whose uplink saturates; the ROADMAP's
+north star asks what happens when the tier grows sideways.  This
+experiment sweeps ``num_proxies`` × prefetch policy through the sweep
+engine: the same client population is re-homed across 1, 2, 4, … proxies
+(:class:`~repro.network.topology.TopologyConfig`, client-affinity
+routing), every proxy bringing its own uplink of the configured
+bandwidth, so aggregate capacity grows with the count.
+
+Two readings fall out:
+
+* **load relief compounds with prefetching** — at one overloaded proxy
+  the threshold policy barely dares prefetch (the §3 rule throttles as ρ
+  grows); splitting the tier lowers every node's ρ, which both shortens
+  demand retrievals *and* re-opens the prefetching headroom, so the gap
+  between ``none`` and ``threshold-dynamic`` widens as proxies are added;
+* **routing shapes the shards** — the final table re-runs the largest
+  tier with ``item-hash`` (consistent-hash catalogue sharding) and shows
+  per-proxy traffic: client-affinity shards by client population,
+  item-hash by catalogue popularity mass.
+
+CLI: ``python -m repro sharding --proxies 1,2,8`` overrides the swept
+proxy counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.base import Experiment, ExperimentResult, register
+from repro.network.topology import TopologyConfig
+from repro.sim.config import SimulationConfig
+from repro.sim.sweep import SweepPoint
+from repro.workload.sessions import WorkloadSpec
+
+__all__ = ["ShardingExperiment"]
+
+POLICIES = {
+    "none": {"policy": "none"},
+    "threshold-dynamic": {"policy": "threshold-dynamic"},
+}
+
+
+@register
+class ShardingExperiment(Experiment):
+    experiment_id = "sharding"
+    paper_artifact = "Scale-out extension (multi-proxy tier, ROADMAP north star)"
+    description = "Access time vs proxy count under catalogue/client sharding"
+
+    #: proxy counts to sweep (overridden by the CLI ``--proxies`` flag)
+    proxy_counts: tuple[int, ...] | None = None
+
+    def base_config(self, *, fast: bool) -> SimulationConfig:
+        return SimulationConfig(
+            workload=WorkloadSpec(
+                num_clients=8,
+                request_rate=40.0,
+                catalog_size=400,
+                zipf_exponent=0.9,
+                follow_probability=0.7,
+            ),
+            bandwidth=30.0,  # one proxy runs hot; the sweep relieves it
+            cache_policy="lru",
+            cache_capacity=40,
+            predictor="true-distribution",
+            policy="none",
+            duration=120.0 if fast else 400.0,
+            warmup=24.0 if fast else 60.0,
+            seed=21,
+        )
+
+    def _counts(self, *, fast: bool) -> tuple[int, ...]:
+        if self.proxy_counts is not None:
+            return tuple(self.proxy_counts)
+        return (1, 2) if fast else (1, 2, 4)
+
+    def _execute(self, *, fast: bool = False) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id=self.experiment_id,
+            title="Multi-proxy sharding: access time vs proxy count",
+        )
+        base = self.base_config(fast=fast)
+        counts = self._counts(fast=fast)
+        reps = 2 if fast else 3
+        points = [
+            SweepPoint(
+                key=f"P={proxies}/{name}",
+                config=replace(
+                    base,
+                    topology=TopologyConfig(num_proxies=proxies),
+                    **overrides,
+                ),
+                replications=reps,
+                meta={"proxies": proxies, "policy": name},
+            )
+            for proxies in counts
+            for name, overrides in POLICIES.items()
+        ]
+        outcomes = self.engine.run(points)
+        result.sweeps.append(
+            outcomes.to_sweep(
+                "mean_access_time",
+                x="proxies",
+                by="policy",
+                title="mean access time t̄ vs proxy count (client-affinity)",
+                x_label="num_proxies",
+                y_label="t̄",
+                params={
+                    "bandwidth/proxy": base.bandwidth,
+                    "clients": base.workload.num_clients,
+                    "lambda": base.workload.request_rate,
+                },
+            )
+        )
+        rows = [
+            [
+                pt.meta["proxies"],
+                pt.meta["policy"],
+                outcomes.mean(pt.key, "mean_access_time"),
+                outcomes.mean(pt.key, "hit_ratio"),
+                outcomes.mean(pt.key, "utilization"),
+                outcomes.mean(pt.key, "prefetches_per_request"),
+            ]
+            for pt in points
+        ]
+        result.tables.append(
+            (
+                "proxy count × policy (client-affinity routing)",
+                ["proxies", "policy", "t_bar", "hit ratio", "rho", "n(F)"],
+                rows,
+            )
+        )
+
+        # Routing comparison at the largest tier: how do the shards load?
+        largest = max(counts)
+        if largest > 1:
+            routings = ("client-affinity", "item-hash")
+            # one batched run: both points share the engine's worker pool
+            sharded = self.engine.run(
+                [
+                    SweepPoint(
+                        key=f"routing={routing}",
+                        config=replace(
+                            base,
+                            policy="threshold-dynamic",
+                            topology=TopologyConfig(
+                                num_proxies=largest, routing=routing
+                            ),
+                        ),
+                        replications=1,
+                    )
+                    for routing in routings
+                ]
+            )
+            routing_rows = []
+            for routing in routings:
+                output = sharded.raw[f"routing={routing}"][0]
+                shares = _traffic_shares(output)
+                routing_rows.append(
+                    [
+                        routing,
+                        sharded.mean(f"routing={routing}", "mean_access_time"),
+                        sharded.mean(f"routing={routing}", "utilization"),
+                        max(shares) / (1.0 / largest),  # 1.0 = perfectly even
+                        " ".join(f"{s:.2f}" for s in shares),
+                    ]
+                )
+            result.tables.append(
+                (
+                    f"routing comparison at {largest} proxies (threshold-dynamic)",
+                    ["routing", "t_bar", "rho", "peak/even", "per-proxy traffic share"],
+                    routing_rows,
+                )
+            )
+            result.notes.append(
+                "per-proxy traffic share: fraction of tier bytes each node's "
+                "uplink carried; peak/even = hottest shard relative to a "
+                "perfectly balanced tier (1.0 = even)"
+            )
+        none_t = {r[0]: r[2] for r in rows if r[1] == "none"}
+        dyn_t = {r[0]: r[2] for r in rows if r[1] == "threshold-dynamic"}
+        for proxies in counts:
+            result.notes.append(
+                f"P={proxies}: prefetching gain G = "
+                f"{none_t[proxies] - dyn_t[proxies]:.6f}"
+            )
+        return result
+
+
+def _traffic_shares(output) -> list[float]:
+    """Per-proxy fraction of the tier's total transferred bytes."""
+    totals = [
+        shard.link_demand_bytes + shard.link_prefetch_bytes
+        for shard in output.per_proxy
+    ]
+    tier = sum(totals)
+    return [t / tier if tier > 0 else 0.0 for t in totals]

@@ -1,13 +1,16 @@
-"""Network substrate: shared PS link, origin server, fetch messages."""
+"""Network substrate: shared PS links, origin server, topology, messages."""
 
 from repro.network.link import SharedLink
 from repro.network.messages import FetchKind, FetchRequest, FetchResult
 from repro.network.server import OriginServer
+from repro.network.topology import HashRing, TopologyConfig
 
 __all__ = [
     "FetchKind",
     "FetchRequest",
     "FetchResult",
+    "HashRing",
     "OriginServer",
     "SharedLink",
+    "TopologyConfig",
 ]

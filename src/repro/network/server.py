@@ -10,6 +10,7 @@ the :class:`~repro.network.link.SharedLink`.
 
 from __future__ import annotations
 
+import copy
 from collections import Counter
 from typing import Hashable, Mapping
 
@@ -106,3 +107,17 @@ class OriginServer:
         return self.link.fetch(
             item=item, size=self.size_of(item), kind=kind, client=client
         )
+
+    def with_link(self, link: SharedLink) -> "OriginServer":
+        """A view of this origin that streams through a different link.
+
+        The catalogue is authoritative and shared: the view aliases the
+        size map, size distribution, RNG and demand/prefetch counters, so
+        an item's lazily-sampled size is identical no matter which proxy's
+        link first fetched it, and per-item counts stay global.  Only the
+        transfer path differs — this is how a multi-proxy topology shards
+        traffic across per-node uplinks without forking the catalogue.
+        """
+        view = copy.copy(self)  # shallow: dicts/counters stay shared
+        view.link = link
+        return view

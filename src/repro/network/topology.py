@@ -1,0 +1,166 @@
+"""Proxy-tier topology: how many proxies, and which one serves a fetch.
+
+The paper models a *single* proxy whose uplink is the M/G/1-PS bottleneck.
+Serving heavy traffic means growing that tier sideways, and
+:class:`TopologyConfig` describes the grown shape declaratively:
+
+* ``num_proxies`` — how many :class:`~repro.sim.node.ProxyNode` instances
+  the simulation builds.  Each node owns its *own* uplink (a
+  :class:`~repro.network.link.SharedLink` of the configured bandwidth), its
+  clients' caches/controllers and a metrics shard, so adding proxies adds
+  capacity — the scale-out direction of ROADMAP's north star.
+* ``routing`` — which node's link carries a fetch:
+
+  - ``client-affinity``: a client's fetches always traverse its *home*
+    proxy (``client mod num_proxies``).  This is classic client
+    partitioning: per-proxy load mirrors per-client-group load.
+  - ``item-hash``: the catalogue is sharded; a fetch for item ``i``
+    traverses the link of the proxy that *owns* ``i`` on a consistent-hash
+    ring (:class:`HashRing`).  Clients stay homed for caches/metrics, but
+    traffic shards by content — one hot client spreads across every link,
+    and growing ``num_proxies`` remaps only ``~1/P`` of the catalogue.
+
+* per-proxy overrides — heterogeneous tiers (one thin uplink, one small
+  cache) via ``bandwidth_overrides`` / ``cache_capacity_overrides``.
+
+The default config (one proxy, client-affinity, no overrides) reproduces
+the paper's single-proxy system bit-identically; everything else is the
+scale-out extension.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TopologyConfig", "HashRing", "ROUTING_NAMES"]
+
+ROUTING_NAMES = ("client-affinity", "item-hash")
+
+
+def _stable_hash(token: str) -> int:
+    """64-bit platform-independent hash (``hash()`` is salted per process)."""
+    return int.from_bytes(
+        hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring mapping items to proxy ids.
+
+    Each proxy contributes ``vnodes`` virtual points; an item lands on the
+    first point clockwise from its own hash.  Placement depends only on
+    ``(num_proxies, vnodes)`` and the item's repr, so it is stable across
+    runs, processes and platforms — and growing the ring from P to P+1
+    proxies remaps only ~1/(P+1) of the catalogue (the property that makes
+    re-sharding a warm cache tier cheap).
+    """
+
+    def __init__(self, num_proxies: int, *, vnodes: int = 64) -> None:
+        if num_proxies < 1:
+            raise ConfigurationError(f"num_proxies must be >= 1, got {num_proxies}")
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        self.num_proxies = int(num_proxies)
+        self.vnodes = int(vnodes)
+        points = []
+        for proxy in range(self.num_proxies):
+            for v in range(self.vnodes):
+                points.append((_stable_hash(f"proxy-{proxy}#{v}"), proxy))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [p for _, p in points]
+
+    def node_of(self, item) -> int:
+        """The proxy id owning ``item``'s catalogue shard."""
+        h = _stable_hash(repr(item))
+        index = bisect_right(self._hashes, h)
+        if index == len(self._hashes):  # wrap past the top of the ring
+            index = 0
+        return self._owners[index]
+
+
+@dataclass
+class TopologyConfig:
+    """Shape of the proxy tier (defaults reproduce the paper's single proxy).
+
+    Attributes
+    ----------
+    num_proxies:
+        Proxy-node count.  Every node gets its own uplink of the
+        simulation's configured bandwidth (overridable per node), so the
+        tier's aggregate capacity grows with the count.
+    routing:
+        ``client-affinity`` (fetches use the client's home proxy) or
+        ``item-hash`` (fetches use the item's owning proxy on a
+        consistent-hash ring).  See the module docstring.
+    bandwidth_overrides:
+        ``proxy id -> uplink bandwidth`` replacing the simulation default
+        for that node.
+    cache_capacity_overrides:
+        ``proxy id -> per-client cache capacity`` for clients homed at that
+        node.
+    hash_vnodes:
+        Virtual points per proxy on the item-hash ring (balance/stability
+        knob; irrelevant under client-affinity).
+    """
+
+    num_proxies: int = 1
+    routing: str = "client-affinity"
+    bandwidth_overrides: Mapping[int, float] = field(default_factory=dict)
+    cache_capacity_overrides: Mapping[int, int] = field(default_factory=dict)
+    hash_vnodes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_proxies < 1:
+            raise ConfigurationError(
+                f"num_proxies must be >= 1, got {self.num_proxies!r}"
+            )
+        if self.routing not in ROUTING_NAMES:
+            raise ConfigurationError(
+                f"unknown routing {self.routing!r}; known: {ROUTING_NAMES}"
+            )
+        if self.hash_vnodes < 1:
+            raise ConfigurationError(
+                f"hash_vnodes must be >= 1, got {self.hash_vnodes!r}"
+            )
+        # Canonical int-keyed copies (JSON round trips stringify keys).
+        self.bandwidth_overrides = {
+            int(k): float(v) for k, v in dict(self.bandwidth_overrides).items()
+        }
+        self.cache_capacity_overrides = {
+            int(k): int(v) for k, v in dict(self.cache_capacity_overrides).items()
+        }
+        for label, overrides in (
+            ("bandwidth_overrides", self.bandwidth_overrides),
+            ("cache_capacity_overrides", self.cache_capacity_overrides),
+        ):
+            for proxy, value in overrides.items():
+                if not 0 <= proxy < self.num_proxies:
+                    raise ConfigurationError(
+                        f"{label} for unknown proxy {proxy!r} "
+                        f"(num_proxies={self.num_proxies})"
+                    )
+                if value <= 0:
+                    raise ConfigurationError(
+                        f"{label}[{proxy}] must be > 0, got {value!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    def home_of(self, client: int) -> int:
+        """The proxy a client is homed at (cache, controller, metrics)."""
+        return int(client) % self.num_proxies
+
+    def node_bandwidth(self, node_id: int, default: float) -> float:
+        return float(self.bandwidth_overrides.get(node_id, default))
+
+    def node_cache_capacity(self, node_id: int, default: int) -> int:
+        return int(self.cache_capacity_overrides.get(node_id, default))
+
+    def build_ring(self) -> HashRing:
+        """The item-hash ring for this topology (build once per simulation)."""
+        return HashRing(self.num_proxies, vnodes=self.hash_vnodes)

@@ -12,7 +12,10 @@ Responsibilities:
 * classify each user access per the §4 algorithm (tagged hit / untagged
   hit / miss) and feed the estimator,
 * keep the predictor's model updated with the access stream,
-* deduplicate against cache contents and in-flight fetches,
+* deduplicate against cache contents and in-flight fetches — including
+  *demand* fetches when a :class:`~repro.sim.node.FetchTable` is attached
+  (planning an item already being demand-fetched would duplicate the
+  pending transfer; the unified table makes that class of bug impossible),
 * account per-request prefetch counts (n̄(F)) and hit provenance
   (how many hits only happened because of prefetching).
 """
@@ -30,6 +33,20 @@ from repro.predictors.base import Predictor
 from repro.prefetch.policy import Candidate, PolicyContext, PrefetchPolicy
 
 __all__ = ["PrefetchController", "AccessOutcome"]
+
+
+class _PendingUnion:
+    """Zero-copy membership union of the controller's own prefetch marks
+    and the node's fetch table (both referents are live views)."""
+
+    __slots__ = ("marks", "table")
+
+    def __init__(self, marks, table) -> None:
+        self.marks = marks
+        self.table = table
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self.marks or item in self.table
 
 
 @dataclass(frozen=True)
@@ -81,6 +98,12 @@ class PrefetchController:
         Optional live threshold estimator; fed automatically.
     bandwidth:
         Link capacity, passed through to the policy context.
+    fetch_table:
+        Optional unified pending-fetch table (any ``in``-supporting view of
+        the items currently being fetched, typically a
+        :class:`~repro.sim.node.FetchTable`).  When attached, the planner's
+        in-flight view is the union of the controller's own prefetch marks
+        and the table — so items being *demand*-fetched are never selected.
     """
 
     def __init__(
@@ -91,6 +114,7 @@ class PrefetchController:
         cache: Cache,
         bandwidth: float,
         estimator: Optional[ThresholdEstimator] = None,
+        fetch_table=None,
     ) -> None:
         self.predictor = predictor
         self.policy = policy
@@ -99,6 +123,15 @@ class PrefetchController:
         self.estimator = estimator
         self.stats = ControllerStats()
         self._in_flight: set[Hashable] = set()
+        self.fetch_table = None
+        self._pending_view = self._in_flight
+        if fetch_table is not None:
+            self.attach_fetch_table(fetch_table)
+
+    def attach_fetch_table(self, fetch_table) -> None:
+        """Wire the node's unified pending-fetch table into planning."""
+        self.fetch_table = fetch_table
+        self._pending_view = _PendingUnion(self._in_flight, fetch_table)
 
     # ------------------------------------------------------------------
     # Access path
@@ -179,7 +212,7 @@ class PrefetchController:
             ),
             estimated_utilization=estimated_utilization,
             in_cache=self.cache,
-            in_flight=self._in_flight,
+            in_flight=self._pending_view,
         )
         chosen = self.policy.select(candidates, context)
         for item, _p in chosen:

@@ -1,8 +1,9 @@
 """Simulation layer: analytic mirror, full system, replication, validation."""
 
 from repro.sim.config import SimulationConfig
-from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.sim.metrics import MetricsCollector, SimulationMetrics, finalize_aggregate
 from repro.sim.mirror import MirrorConfig, run_mirror
+from repro.sim.node import FetchTable, ProxyNode
 from repro.sim.parallel import ReplicationExecutor, replication_jobs, resolve_jobs
 from repro.sim.runner import (
     ReplicatedResult,
@@ -10,7 +11,12 @@ from repro.sim.runner import (
     run_mirror_replications,
     run_simulation_replications,
 )
-from repro.sim.simulation import Simulation, SimulationOutput, run_simulation
+from repro.sim.simulation import (
+    ProxyShardStats,
+    Simulation,
+    SimulationOutput,
+    run_simulation,
+)
 from repro.sim.sweep import (
     SweepExecutor,
     SweepPoint,
@@ -21,8 +27,11 @@ from repro.sim.sweep import (
 from repro.sim.validate import TheoryComparison, mirror_vs_theory
 
 __all__ = [
+    "FetchTable",
     "MetricsCollector",
     "MirrorConfig",
+    "ProxyNode",
+    "ProxyShardStats",
     "ReplicatedResult",
     "ReplicationExecutor",
     "Simulation",
@@ -35,6 +44,7 @@ __all__ = [
     "TheoryComparison",
     "compare_policies",
     "current_engine",
+    "finalize_aggregate",
     "mirror_vs_theory",
     "replication_jobs",
     "resolve_jobs",

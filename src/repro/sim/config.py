@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ConfigurationError
+from repro.network.topology import TopologyConfig
 from repro.workload.sessions import WorkloadSpec
 
 __all__ = ["SimulationConfig", "PREDICTOR_NAMES", "POLICY_NAMES"]
@@ -64,6 +65,13 @@ class SimulationConfig:
         caches, predictors, policies and link contention still run live.
         The workload spec keeps supplying the catalogue/locality parameters
         predictors and the ``true-distribution`` oracle need.
+    topology:
+        Proxy-tier shape (:class:`~repro.network.topology.TopologyConfig`).
+        The default — one proxy, client-affinity routing — reproduces the
+        paper's single-proxy system bit-identically; more proxies shard
+        clients (or, with ``item-hash`` routing, the catalogue) across
+        per-node uplinks.  ``bandwidth`` / ``cache_capacity`` above become
+        the per-node defaults the topology may override per proxy.
     """
 
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
@@ -80,8 +88,14 @@ class SimulationConfig:
     seed: int = 0
     prediction_limit: int = 16
     trace_path: str | None = None
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.topology, TopologyConfig):
+            raise ConfigurationError(
+                f"topology must be a TopologyConfig, got "
+                f"{type(self.topology).__name__}"
+            )
         if self.bandwidth <= 0:
             raise ConfigurationError(f"bandwidth must be > 0, got {self.bandwidth!r}")
         if self.cache_capacity < 1:

@@ -24,13 +24,13 @@ leak inflated values into the steady-state mean), so callers pass
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.des.environment import Environment
 from repro.des.monitors import Tally
 from repro.network.link import SharedLink
 
-__all__ = ["MetricsCollector", "SimulationMetrics"]
+__all__ = ["MetricsCollector", "SimulationMetrics", "finalize_aggregate"]
 
 
 @dataclass(frozen=True)
@@ -160,22 +160,103 @@ class MetricsCollector:
         self.link.server._advance()
         elapsed = self.env.now - self._t_start
         busy = self.link.server._busy_time - self._busy_start
-        return SimulationMetrics(
-            duration=elapsed,
+        return self._build(
             requests=self._requests,
             hits=self._hits,
-            mean_access_time=self.access_time.mean if self._requests else float("nan"),
-            mean_demand_retrieval_time=self.demand_retrieval.mean,
-            mean_prefetch_retrieval_time=self.prefetch_retrieval.mean,
-            utilization=busy / elapsed if elapsed > 0 else float("nan"),
-            retrieval_time_per_request=(
-                self._retrieval_time_accum / self._requests
-                if self._requests
-                else float("nan")
-            ),
-            prefetches_issued=self._prefetches,
-            prefetches_per_request=(
-                self._prefetches / self._requests if self._requests else float("nan")
-            ),
             tagged_hits=self._tagged_hits,
+            prefetches=self._prefetches,
+            access_mean=self.access_time.mean,
+            demand_mean=self.demand_retrieval.mean,
+            prefetch_mean=self.prefetch_retrieval.mean,
+            retrieval_accum=self._retrieval_time_accum,
+            busy=busy,
+            elapsed=elapsed,
+            links=1,
         )
+
+    @staticmethod
+    def _build(
+        *,
+        requests: int,
+        hits: int,
+        tagged_hits: int,
+        prefetches: int,
+        access_mean: float,
+        demand_mean: float,
+        prefetch_mean: float,
+        retrieval_accum: float,
+        busy: float,
+        elapsed: float,
+        links: int,
+    ) -> SimulationMetrics:
+        return SimulationMetrics(
+            duration=elapsed,
+            requests=requests,
+            hits=hits,
+            mean_access_time=access_mean if requests else float("nan"),
+            mean_demand_retrieval_time=demand_mean,
+            mean_prefetch_retrieval_time=prefetch_mean,
+            utilization=busy / (links * elapsed) if elapsed > 0 else float("nan"),
+            retrieval_time_per_request=(
+                retrieval_accum / requests if requests else float("nan")
+            ),
+            prefetches_issued=prefetches,
+            prefetches_per_request=(
+                prefetches / requests if requests else float("nan")
+            ),
+            tagged_hits=tagged_hits,
+        )
+
+
+def finalize_aggregate(collectors: Sequence[MetricsCollector]) -> SimulationMetrics:
+    """Exact global metrics over per-proxy collector shards.
+
+    One collector degenerates to its own :meth:`MetricsCollector.finalize`
+    (bit-identical to the pre-topology single-proxy path).  For several,
+    counts and time accumulators sum exactly (in node order), per-event
+    means merge through :meth:`Tally.merge` (Chan et al.), and utilisation
+    becomes the *mean link busy fraction* — total busy time over
+    ``num_links × elapsed`` — which reduces to the single-link busy
+    fraction for one proxy.
+
+    Every collector must share the environment and warmup boundary (the
+    simulation builds them that way), so ``elapsed`` is common.
+    """
+    if not collectors:
+        raise ValueError("finalize_aggregate() needs at least one collector")
+    if len(collectors) == 1:
+        return collectors[0].finalize()
+    first = collectors[0]
+    if first._t_start is None:
+        raise RuntimeError("finalize_aggregate() before measurement started")
+    elapsed = first.env.now - first._t_start
+    busy = 0.0
+    access = Tally("access-time")
+    demand = Tally("demand-retrieval")
+    prefetch = Tally("prefetch-retrieval")
+    requests = hits = tagged = prefetches = 0
+    retrieval_accum = 0.0
+    for c in collectors:
+        c.link.server._advance()
+        busy += c.link.server._busy_time - c._busy_start
+        access = access.merge(c.access_time)
+        demand = demand.merge(c.demand_retrieval)
+        prefetch = prefetch.merge(c.prefetch_retrieval)
+        requests += c._requests
+        hits += c._hits
+        tagged += c._tagged_hits
+        prefetches += c._prefetches
+        retrieval_accum += c._retrieval_time_accum
+    return MetricsCollector._build(
+        requests=requests,
+        hits=hits,
+        tagged_hits=tagged,
+        prefetches=prefetches,
+        access_mean=access.mean,
+        demand_mean=demand.mean,
+        prefetch_mean=prefetch.mean,
+        retrieval_accum=retrieval_accum,
+        busy=busy,
+        elapsed=elapsed,
+        links=len(collectors),
+    )

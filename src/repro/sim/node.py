@@ -1,0 +1,354 @@
+"""Proxy nodes and the unified fetch table.
+
+This module is the node layer of the simulation: one :class:`ProxyNode`
+per proxy in the :class:`~repro.network.topology.TopologyConfig`, each
+owning its uplink (:class:`~repro.network.link.SharedLink`), an origin
+*view* onto the shared catalogue, the caches/controllers of the clients
+homed at it, a metrics shard, and — per client — a :class:`FetchTable`.
+
+The fetch table is the fix for a whole bug class (ROADMAP: "demand fetches
+are invisible to the controller's in-flight set").  Before it, only
+*prefetch* fetches were tracked as pending: a policy could plan a prefetch
+for an item a concurrent request of the same client was already
+demand-fetching, duplicating the transfer, and a second demand request for
+a mid-flight item paid for its own copy.  The table tracks **both** kinds
+through one pending map:
+
+* a request that misses on a pending item — demand- *or* prefetch-fetched —
+  *joins* the in-flight transfer instead of issuing another;
+* the controller's planner sees the table, so an item being demand-fetched
+  is never selected for prefetch (and a scripted/buggy policy that selects
+  one anyway is skipped by the node, not duplicated);
+* completion wakes every joiner; failure wakes them too so they can fall
+  back to a demand fetch (the PR-3 recovery protocol, now in one place).
+
+One table serves one client: caches are per client, so joining across
+clients would hand a requester a transfer that fills someone else's cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Iterator, KeysView
+
+from repro.des.events import Event
+from repro.errors import SimulationError
+from repro.network.link import SharedLink
+from repro.sim.metrics import MetricsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim builds nodes)
+    from repro.prefetch.controller import PrefetchController
+    from repro.sim.simulation import Simulation
+
+__all__ = ["FetchTable", "FetchTableStats", "PendingFetch", "ProxyNode"]
+
+
+@dataclass
+class FetchTableStats:
+    """Lifetime accounting of one table (fuzz/invariant-test surface)."""
+
+    demand_registered: int = 0
+    prefetch_registered: int = 0
+    joins: int = 0
+    completions: int = 0
+    failures: int = 0
+
+    @property
+    def registered(self) -> int:
+        return self.demand_registered + self.prefetch_registered
+
+    @property
+    def resolved(self) -> int:
+        return self.completions + self.failures
+
+
+class PendingFetch:
+    """One in-flight transfer: its kind, completion event and joiner count."""
+
+    __slots__ = ("item", "kind", "event", "joiners")
+
+    def __init__(self, item: Hashable, kind: str, event: Event) -> None:
+        self.item = item
+        self.kind = kind  # "demand" | "prefetch"
+        self.event = event
+        self.joiners = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PendingFetch {self.item!r} kind={self.kind} "
+            f"joiners={self.joiners}>"
+        )
+
+
+class FetchTable:
+    """Pending fetches — demand *and* prefetch — of one client.
+
+    Invariants (pinned by the fuzz test):
+
+    * an item has at most one pending entry at a time;
+    * every registered entry is resolved exactly once (complete or fail);
+    * a resolution wakes every joiner — completion succeeds the event,
+      failure fails it *iff* someone is waiting (an untriggered orphan
+      would suspend joiners forever; an unwaited failure would crash the
+      run via the environment's unhandled-failure check).
+    """
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self._pending: dict[Hashable, PendingFetch] = {}
+        self.stats = FetchTableStats()
+
+    # ------------------------------------------------------------------
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._pending
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._pending)
+
+    def pending_items(self) -> KeysView:
+        """Live view of the items currently being fetched."""
+        return self._pending.keys()
+
+    def get(self, item: Hashable) -> PendingFetch | None:
+        return self._pending.get(item)
+
+    # ------------------------------------------------------------------
+    def register(self, item: Hashable, kind: str) -> PendingFetch:
+        """Open a pending entry for a fetch the caller is about to issue."""
+        if kind not in ("demand", "prefetch"):
+            raise SimulationError(f"unknown fetch kind {kind!r}")
+        if item in self._pending:
+            raise SimulationError(
+                f"item {item!r} already has a pending {self._pending[item].kind} fetch"
+            )
+        entry = PendingFetch(item, kind, Event(self.env))
+        self._pending[item] = entry
+        if kind == "demand":
+            self.stats.demand_registered += 1
+        else:
+            self.stats.prefetch_registered += 1
+        return entry
+
+    def join(self, item: Hashable) -> Event:
+        """The completion event of ``item``'s pending fetch (to ``yield``)."""
+        entry = self._pending[item]
+        entry.joiners += 1
+        self.stats.joins += 1
+        return entry.event
+
+    def complete(self, item: Hashable, result) -> None:
+        """The pending fetch finished; wake joiners with ``result``."""
+        entry = self._pending.pop(item, None)
+        if entry is None:
+            return
+        self.stats.completions += 1
+        if not entry.event.triggered:
+            entry.event.succeed(result)
+
+    def fail(self, item: Hashable, exc: BaseException) -> None:
+        """The pending fetch died; wake joiners so they can fall back.
+
+        With no joiners the event is dropped untriggered — failing it would
+        crash the run through the environment's unhandled-failure check.
+        """
+        entry = self._pending.pop(item, None)
+        if entry is None:
+            return
+        self.stats.failures += 1
+        event = entry.event
+        if not event.triggered and event.callbacks:
+            event.fail(exc)
+
+
+class ProxyNode:
+    """One proxy of the tier: uplink + origin view + homed clients + shard.
+
+    The node owns the *mechanics* of its clients' request path (the
+    generator processes); the :class:`~repro.sim.simulation.Simulation`
+    orchestrator owns the topology — which node exists, which clients home
+    where, and which node's link carries a given fetch
+    (:meth:`Simulation.route`).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        node_id: int,
+        *,
+        bandwidth: float,
+        cache_capacity: int,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.env = sim.env
+        self.bandwidth = float(bandwidth)
+        self.cache_capacity = int(cache_capacity)
+        self.link = SharedLink(self.env, bandwidth=self.bandwidth)
+        #: this node's shard of the metrics (requests of homed clients;
+        #: utilisation of this node's link)
+        self.collector = MetricsCollector(
+            self.env, self.link, warmup_time=sim.config.warmup
+        )
+        #: origin *view*: shared catalogue state, this node's link (set by
+        #: the orchestrator right after it builds the authoritative origin)
+        self.origin = None
+        self.clients: list[int] = []
+        self.controllers: list["PrefetchController"] = []
+        self.caches: list = []
+        self.fetch_tables: dict[int, FetchTable] = {}
+
+    # ------------------------------------------------------------------
+    def attach_client(self, client_id: int, *, controller, cache) -> FetchTable:
+        """Home one client at this node and start tracking its fetches."""
+        table = FetchTable(self.env)
+        self.clients.append(client_id)
+        self.controllers.append(controller)
+        self.caches.append(cache)
+        self.fetch_tables[client_id] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # The per-client request path (shared by both arrival drivers)
+    # ------------------------------------------------------------------
+    def request_handler(self, client_id: int, controller):
+        """Build ``handle_request(item)`` for one homed client.
+
+        The returned process function is closed over the client's
+        :class:`FetchTable`; all fetches go through ``sim.fetch`` so the
+        topology's routing decides which node's link carries them.
+        """
+        sim = self.sim
+        env = self.env
+        collector = self.collector
+        table = self.fetch_tables[client_id]
+
+        def prefetch_process(item: Hashable):
+            try:
+                result = yield sim.fetch(item, kind="prefetch", client=client_id)
+            except Exception as exc:
+                controller.on_fetch_failed(item)
+                # Wake any joiners before dropping the pending entry (they
+                # fall back to a demand fetch); with none, drop silently.
+                table.fail(item, exc)
+                return
+            controller.on_fetch_complete(
+                item,
+                now=env.now,
+                size=result.request.size,
+                prefetched=True,
+            )
+            collector.record_retrieval(
+                result.retrieval_time,
+                prefetch=True,
+                issued_at=result.request.issued_at,
+            )
+            table.complete(item, result)
+
+        def demand_fetch(item: Hashable):
+            """Issue a demand fetch with a registered pending entry, so
+            concurrent requests for the same item join this transfer."""
+            table.register(item, "demand")
+            try:
+                result = yield sim.fetch(item, kind="demand", client=client_id)
+            except Exception as exc:
+                # Keep the table consistent (wake joiners) even though an
+                # unhandled demand failure still surfaces loudly.
+                table.fail(item, exc)
+                raise
+            controller.on_fetch_complete(
+                item, now=env.now, size=result.request.size, prefetched=False
+            )
+            collector.record_retrieval(
+                result.retrieval_time, issued_at=result.request.issued_at
+            )
+            table.complete(item, result)
+
+        def handle_request(item: Hashable):
+            t0 = env.now
+            size = sim.origin.size_of(item)
+            outcome = controller.on_user_access(item, now=t0, size=size)
+            if outcome.hit:
+                collector.record_request(
+                    hit=True,
+                    access_time=0.0,
+                    tagged_hit=outcome.kind == "tagged_hit",
+                    issued_at=t0,
+                )
+            elif item in table:
+                # A fetch for this item — demand or prefetch — is
+                # mid-flight: join it instead of paying for a second copy.
+                try:
+                    yield table.join(item)
+                except Exception:
+                    # The joined fetch failed: recover with a demand fetch
+                    # so the request still completes (and is still
+                    # measured).  The first joiner to wake registers the
+                    # recovery entry, so the other joiners (woken by the
+                    # same failure) join that one transfer.
+                    if item in table:
+                        yield table.join(item)
+                    else:
+                        yield from demand_fetch(item)
+                collector.record_request(
+                    hit=False, access_time=env.now - t0, issued_at=t0
+                )
+            else:
+                yield from demand_fetch(item)
+                collector.record_request(
+                    hit=False, access_time=env.now - t0, issued_at=t0
+                )
+            # Plan speculative fetches triggered by this request.  The
+            # planner consults the fetch table (via the controller), so an
+            # item already being fetched — by either kind — is not selected;
+            # scripted/legacy policies that select one anyway are skipped
+            # here (spawning would duplicate the pending transfer).
+            # The load estimate is routing-aware (sim.planning_load):
+            # under item-hash routing a planned prefetch traverses the
+            # item owner's link, not this node's, so throttling on the
+            # home link alone would misread the tier.
+            chosen = controller.plan(
+                now=env.now,
+                estimated_utilization=sim.planning_load(self),
+            )
+            fresh = [(it, p) for it, p in chosen if it not in table]
+            for it, _p in chosen:
+                if it in table:
+                    controller.on_plan_superseded(it)
+            collector.record_prefetch_issued(len(fresh))
+            for chosen_item, _prob in fresh:
+                table.register(chosen_item, "prefetch")
+                env.process(prefetch_process(chosen_item))
+
+        return handle_request
+
+    # ------------------------------------------------------------------
+    # Synthetic arrival driver (trace replay runs through one merged
+    # Simulation-level driver instead: recorded order IS time order)
+    # ------------------------------------------------------------------
+    def client_process(self, client_id: int, source, controller):
+        """Synthetic driver: Poisson-timed requests from the Markov source."""
+        sim = self.sim
+        spec = sim.config.workload
+        arrivals = spec.make_arrivals(client_id)
+        arrival_rng = sim.streams.get(f"client{client_id}/arrivals")
+        handle_request = self.request_handler(client_id, controller)
+
+        # Batched reference stream: bit-identical to per-request
+        # next_item() because the items RNG is dedicated per client.
+        items = source.stream()
+        while True:
+            yield self.env.timeout(arrivals.next_gap(arrival_rng))
+            item = next(items)
+            # Open-loop arrivals: requests are spawned, not awaited, so the
+            # request rate is unaffected by congestion or prefetching —
+            # exactly the paper's §2.1 assumption.
+            self.env.process(handle_request(item))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ProxyNode {self.node_id} bw={self.bandwidth:g} "
+            f"clients={self.clients}>"
+        )

@@ -1,13 +1,18 @@
-"""Full-system simulation: clients, caches, predictors, prefetching, link.
+"""Full-system simulation: a proxy tier composed from nodes.
 
 Composes every substrate into the system of the paper's Figure-less §2
-description: ``num_clients`` users behind one shared PS link, each with a
-cache, an access model and a prefetch policy.  Unlike the analytic mirror
-(:mod:`repro.sim.mirror`) nothing here is assumed — hit ratios *emerge*
-from cache dynamics, probabilities from the predictor, and the interaction
-models from the eviction policy.
+description — ``num_clients`` users behind a proxy tier, each with a
+cache, an access model and a prefetch policy — generalised to *multiple*
+proxies.  :class:`Simulation` is a thin orchestrator: it builds the
+:class:`~repro.sim.node.ProxyNode` instances the
+:class:`~repro.network.topology.TopologyConfig` asks for, homes clients
+onto them, wires the shared origin catalogue through per-node links, and
+routes fetches (client-affinity or consistent-hash catalogue sharding).
+The *request path* itself — cache lookup, fetch joining, prefetch
+planning — lives on the node (see :mod:`repro.sim.node`); with the default
+single-proxy topology it reproduces the paper's system bit-identically.
 
-Request path (per client):
+Request path (per client, on its home node):
 
 1. Poisson-timed request for the next item of the client's Markov/Zipf
    stream — or, when ``config.trace_path`` attaches a recorded trace, the
@@ -15,17 +20,19 @@ Request path (per client):
    :mod:`repro.workload.replay`): the arrival *driver* is swapped, the
    request path below is shared.
 2. Cache lookup (§4 tag discipline applied) → hit costs zero access time.
-3. On a miss: if the item is already being prefetched, *join* the pending
-   fetch (access time = remaining transfer time); a joined prefetch that
-   fails mid-flight wakes the joiner, which falls back to a demand fetch.
-   Otherwise demand-fetch.
-4. After the request, the controller plans prefetches; each runs as its
-   own process and inserts untagged on completion.  Planned items that
-   already have a fetch pending are skipped (re-spawning would orphan the
-   joiners of the earlier fetch).
+3. On a miss: if the item is already being fetched — demand *or* prefetch,
+   the node's unified :class:`~repro.sim.node.FetchTable` tracks both —
+   *join* the pending fetch (access time = remaining transfer time); a
+   joined fetch that fails mid-flight wakes the joiner, which falls back
+   to a demand fetch.  Otherwise demand-fetch through the routed link.
+4. After the request, the controller plans prefetches; the planner sees
+   the fetch table, so items already being fetched (either kind) are never
+   selected — and a selection that slips through anyway is skipped, not
+   duplicated.
 
-Metrics are gated on *issue* time: a request or fetch issued during warmup
-is excluded even when it completes inside the measurement window.
+Metrics are gated on *issue* time and collected per node: each proxy owns
+a shard (its homed clients' requests, its link's utilisation) and
+:class:`SimulationOutput` carries the shards plus their exact aggregate.
 """
 
 from __future__ import annotations
@@ -36,11 +43,9 @@ from typing import Hashable
 from repro.cache.interaction import make_cache
 from repro.core.parameters import SystemParameters
 from repro.des.environment import Environment
-from repro.des.events import Event
 from repro.des.rng import RandomStreams
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.estimation.utilization import ThresholdEstimator
-from repro.network.link import SharedLink
 from repro.network.server import OriginServer
 from repro.predictors import (
     DependencyGraphPredictor,
@@ -61,11 +66,12 @@ from repro.prefetch import (
     TopKPolicy,
 )
 from repro.sim.config import SimulationConfig
-from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.sim.metrics import MetricsCollector, SimulationMetrics, finalize_aggregate
+from repro.sim.node import ProxyNode
 from repro.workload.markov_source import MarkovChainSource
 from repro.workload.replay import TraceReplaySource
 
-__all__ = ["Simulation", "run_simulation", "SimulationOutput"]
+__all__ = ["Simulation", "run_simulation", "SimulationOutput", "ProxyShardStats"]
 
 
 class _TrueDistributionPredictor(Predictor):
@@ -114,19 +120,31 @@ def _build_predictor(config: SimulationConfig, source: MarkovChainSource) -> Pre
 
 
 def _build_policy(
-    config: SimulationConfig, estimator: ThresholdEstimator
+    config: SimulationConfig,
+    estimator: ThresholdEstimator,
+    *,
+    bandwidth: float | None = None,
+    cache_capacity: int | None = None,
+    request_rate: float | None = None,
 ) -> PrefetchPolicy:
     name = config.policy
     params = dict(config.policy_params)
+    bandwidth = config.bandwidth if bandwidth is None else bandwidth
+    cache_capacity = (
+        config.cache_capacity if cache_capacity is None else cache_capacity
+    )
+    request_rate = (
+        config.workload.request_rate if request_rate is None else request_rate
+    )
     if name == "none":
         return NoPrefetchPolicy()
     if name == "threshold-static":
         sys_params = SystemParameters(
-            bandwidth=config.bandwidth,
-            request_rate=config.workload.request_rate,
+            bandwidth=bandwidth,
+            request_rate=request_rate,
             mean_item_size=config.workload.mean_item_size,
             hit_ratio=float(config.assumed_hit_ratio or 0.0),
-            cache_size=float(config.cache_capacity),
+            cache_size=float(cache_capacity),
         )
         return StaticThresholdPolicy(sys_params, **params)
     if name == "threshold-dynamic":
@@ -143,8 +161,27 @@ def _build_policy(
 
 
 @dataclass(frozen=True)
+class ProxyShardStats:
+    """One proxy's share of a run: its metrics shard + link accounting."""
+
+    node_id: int
+    clients: tuple[int, ...]
+    metrics: SimulationMetrics
+    bandwidth: float
+    link_demand_fetches: int
+    link_prefetch_fetches: int
+    link_prefetch_bytes: float
+    link_demand_bytes: float
+
+
+@dataclass(frozen=True)
 class SimulationOutput:
-    """Metrics plus component-level statistics of one full-system run."""
+    """Metrics plus component-level statistics of one full-system run.
+
+    ``metrics`` and the ``link_*`` totals aggregate the whole proxy tier
+    exactly (single-proxy runs: the one node's values, bit-identical to
+    the pre-topology output); ``per_proxy`` carries each node's shard.
+    """
 
     metrics: SimulationMetrics
     cache_stats: list
@@ -153,6 +190,7 @@ class SimulationOutput:
     link_prefetch_fetches: int
     link_prefetch_bytes: float
     link_demand_bytes: float
+    per_proxy: tuple[ProxyShardStats, ...] = ()
 
     @property
     def prefetch_traffic_share(self) -> float:
@@ -161,35 +199,131 @@ class SimulationOutput:
 
 
 class Simulation:
-    """Builder/runner for the full system described by a config."""
+    """Builder/runner for the full system described by a config.
+
+    Owns the topology: which :class:`~repro.sim.node.ProxyNode` instances
+    exist, where each client homes (``topology.home_of``) and which node's
+    link carries a fetch (:meth:`route`).  Everything per-node — request
+    handling, fetch tables, metric shards — lives on the nodes.
+    """
 
     def __init__(self, config: SimulationConfig) -> None:
         self.config = config
         self.streams = RandomStreams(config.seed)
         self.env = Environment()
-        self.link = SharedLink(self.env, bandwidth=config.bandwidth)
         spec = config.workload
         self.replay: TraceReplaySource | None = None
         if config.trace_path is not None:
-            self.replay = TraceReplaySource.from_file(config.trace_path)
+            # Stream the trace from disk: the summary pass gives client
+            # count/size map up front, records are demultiplexed lazily.
+            self.replay = TraceReplaySource.from_file(config.trace_path, stream=True)
+        topo = config.topology
+        self.nodes: tuple[ProxyNode, ...] = tuple(
+            ProxyNode(
+                self,
+                node_id,
+                bandwidth=topo.node_bandwidth(node_id, config.bandwidth),
+                cache_capacity=topo.node_cache_capacity(
+                    node_id, config.cache_capacity
+                ),
+            )
+            for node_id in range(topo.num_proxies)
+        )
+        # One authoritative origin (bound to node 0's link) + per-node
+        # views sharing its catalogue state, so lazily-sampled item sizes
+        # and per-item counts are global while transfers shard by link.
+        if self.replay is not None:
             # Recorded items keep their recorded sizes; prefetch candidates
             # outside the trace fall back to the spec's distribution.
-            self.origin = OriginServer(
-                self.link,
+            origin = OriginServer(
+                self.nodes[0].link,
                 self.replay.size_map(),
                 rng=self.streams.get("origin/sizes"),
                 fallback=spec.make_sizes(),
             )
         else:
-            self.origin = OriginServer(
-                self.link, spec.make_sizes(), rng=self.streams.get("origin/sizes")
+            origin = OriginServer(
+                self.nodes[0].link,
+                spec.make_sizes(),
+                rng=self.streams.get("origin/sizes"),
             )
-        self.collector = MetricsCollector(
-            self.env, self.link, warmup_time=config.warmup
-        )
+        self.nodes[0].origin = origin
+        for node in self.nodes[1:]:
+            node.origin = origin.with_link(node.link)
+        self._bind_router()
         self.clients: list[PrefetchController] = []
         self._caches = []
         self._build_clients()
+
+    # ------------------------------------------------------------------
+    # Topology plumbing
+    # ------------------------------------------------------------------
+    @property
+    def origin(self) -> OriginServer:
+        """The authoritative catalogue (node 0's origin view).
+
+        Settable: tests substitute instrumented origins, and with a single
+        proxy every fetch flows through this object.
+        """
+        return self.nodes[0].origin
+
+    @origin.setter
+    def origin(self, value) -> None:
+        # A substituted origin must replace the catalogue for the WHOLE
+        # tier: leaving nodes 1+ aliased to the old origin would split
+        # the size map/counters and bypass test instrumentation.
+        self.nodes[0].origin = value
+        if len(self.nodes) > 1:
+            if not hasattr(value, "with_link"):
+                raise SimulationError(
+                    "substituting the origin of a multi-proxy simulation "
+                    "needs an origin exposing with_link(link) so every "
+                    "node keeps a view onto the same catalogue"
+                )
+            for node in self.nodes[1:]:
+                node.origin = value.with_link(node.link)
+
+    @property
+    def link(self):
+        """Node 0's uplink (the *only* link with a single-proxy topology)."""
+        return self.nodes[0].link
+
+    @property
+    def collector(self) -> MetricsCollector:
+        """Node 0's metrics shard (the global collector for one proxy)."""
+        return self.nodes[0].collector
+
+    def _bind_router(self) -> None:
+        """Resolve ``route`` once: per-fetch dispatch must stay cheap."""
+        topo = self.config.topology
+        nodes = self.nodes
+        if len(nodes) == 1:
+            only = nodes[0]
+            self.route = lambda client, item: only
+        elif topo.routing == "client-affinity":
+            count = len(nodes)
+            self.route = lambda client, item: nodes[client % count]
+        else:  # item-hash catalogue sharding
+            ring = topo.build_ring()
+            node_of = ring.node_of
+            self.route = lambda client, item: nodes[node_of(item)]
+        # Load estimate fed to prefetch planners.  Client-affinity (and a
+        # single proxy): the home node's own link, exactly the paper's
+        # rho.  Item-hash: planned prefetches traverse the item OWNERS'
+        # links, which the planner cannot know per candidate, so it sees
+        # the tier mean offered load instead of the (irrelevant) home
+        # link.
+        if len(nodes) > 1 and topo.routing == "item-hash":
+            count = len(nodes)
+            self.planning_load = lambda node: (
+                sum(n.link.offered_load() for n in nodes) / count
+            )
+        else:
+            self.planning_load = lambda node: node.link.offered_load()
+
+    def fetch(self, item: Hashable, *, kind: str, client: int):
+        """Fetch ``item`` through the link of the proxy that serves it."""
+        return self.route(client, item).origin.fetch(item, kind=kind, client=client)
 
     # ------------------------------------------------------------------
     @property
@@ -201,203 +335,109 @@ class Simulation:
 
     def _build_clients(self) -> None:
         config = self.config
+        topo = config.topology
         spec = config.workload
-        self.env.process(self.collector.warmup_process())
+        handlers: dict[int, object] = {}
+        for node in self.nodes:
+            self.env.process(node.collector.warmup_process())
+        # Offered rate per node: a static threshold policy must see the
+        # load its *own* uplink carries, not the whole tier's — the tier
+        # aggregate would inflate its rho estimate num_proxies-fold.  One
+        # proxy keeps the spec's exact aggregate (seed bit-identity).
+        if topo.num_proxies == 1:
+            node_rates = [spec.request_rate]
+        else:
+            node_rates = [0.0] * topo.num_proxies
+            for c in range(self.num_clients):
+                node_rates[topo.home_of(c)] += spec.rate_of(c)
         for c in range(self.num_clients):
+            node = self.nodes[topo.home_of(c)]
             source = spec.make_source(c, self.streams)
             predictor = _build_predictor(config, source)
             estimator = ThresholdEstimator(
-                config.bandwidth, cache_size=float(config.cache_capacity)
+                node.bandwidth, cache_size=float(node.cache_capacity)
             )
             cache = make_cache(
                 config.cache_policy,
-                config.cache_capacity,
+                node.cache_capacity,
                 rng=self.streams.get(f"client{c}/evictions"),
                 value_fn=lambda key, p=predictor: p.probability(key),
             )
-            policy = _build_policy(config, estimator)
+            policy = _build_policy(
+                config,
+                estimator,
+                bandwidth=node.bandwidth,
+                cache_capacity=node.cache_capacity,
+                request_rate=node_rates[node.node_id],
+            )
             controller = PrefetchController(
                 predictor=predictor,
                 policy=policy,
                 cache=cache,
-                bandwidth=config.bandwidth,
+                bandwidth=node.bandwidth,
                 estimator=estimator,
             )
+            table = node.attach_client(c, controller=controller, cache=cache)
+            # The planner consults the unified table: items being demand-
+            # fetched are as in-flight as the controller's own prefetches.
+            controller.attach_fetch_table(table)
             self.clients.append(controller)
             self._caches.append(cache)
             if self.replay is not None:
-                self.env.process(
-                    self._trace_client_process(
-                        c, self.replay.client_records(c), controller
-                    )
-                )
+                handlers[c] = node.request_handler(c, controller)
             else:
-                self.env.process(self._client_process(c, source, controller))
+                self.env.process(node.client_process(c, source, controller))
+        if self.replay is not None:
+            self.env.process(self._trace_driver(handlers))
 
-    # ------------------------------------------------------------------
-    def _request_handler(self, client_id: int, controller):
-        """The per-client request path, shared by both arrival drivers.
+    def _trace_driver(self, handlers):
+        """Replay driver: one process walking the merged trace in recorded
+        order (which IS time order), dispatching each record to its
+        client's handler at the exact recorded timestamp.
 
-        Returns a ``handle_request(item)`` process function closed over the
-        client's ``pending`` map (item -> completion event of a mid-flight
-        prefetch, which demand requests for the same item *join*).
+        One merged walk — instead of a per-client demultiplex — is what
+        keeps streaming replay constant-memory: only the record in flight
+        is ever held, no matter how long any one client goes idle.
         """
-        pending: dict[Hashable, Event] = {}  # item -> completion event
-
-        def prefetch_process(item: Hashable):
-            try:
-                result = yield self.origin.fetch(
-                    item, kind="prefetch", client=client_id
-                )
-            except Exception as exc:
-                controller.on_fetch_failed(item)
-                # Wake any joiners before dropping the pending entry: an
-                # untriggered orphan would suspend them forever (and lose
-                # their requests from the metrics).  They fall back to a
-                # demand fetch.  With no joiners the event is simply
-                # dropped untriggered — failing it would crash the run via
-                # the environment's unhandled-failure check.
-                ev = pending.pop(item, None)
-                if ev is not None and not ev.triggered and ev.callbacks:
-                    ev.fail(exc)
-                return
-            controller.on_fetch_complete(
-                item,
-                now=self.env.now,
-                size=result.request.size,
-                prefetched=True,
-            )
-            self.collector.record_retrieval(
-                result.retrieval_time,
-                prefetch=True,
-                issued_at=result.request.issued_at,
-            )
-            ev = pending.pop(item, None)
-            if ev is not None and not ev.triggered:
-                ev.succeed(result)
-
-        def handle_request(item: Hashable):
-            t0 = self.env.now
-            size = self.origin.size_of(item)
-            outcome = controller.on_user_access(item, now=t0, size=size)
-            if outcome.hit:
-                self.collector.record_request(
-                    hit=True,
-                    access_time=0.0,
-                    tagged_hit=outcome.kind == "tagged_hit",
-                    issued_at=t0,
-                )
-            elif item in pending:
-                # A prefetch for this item is mid-flight: wait for it.
-                try:
-                    yield pending[item]
-                except Exception:
-                    # The joined prefetch failed: recover with a demand
-                    # fetch so the request still completes (and is still
-                    # measured).  The first joiner to wake re-registers a
-                    # pending entry for its recovery fetch, so the other
-                    # joiners (woken by the same failure) join that one
-                    # transfer instead of each fetching independently.
-                    recovery = pending.get(item)
-                    if recovery is not None:
-                        yield recovery
-                    else:
-                        recovery = Event(self.env)
-                        pending[item] = recovery
-                        result = yield self.origin.fetch(
-                            item, kind="demand", client=client_id
-                        )
-                        controller.on_fetch_complete(
-                            item,
-                            now=self.env.now,
-                            size=result.request.size,
-                            prefetched=False,
-                        )
-                        self.collector.record_retrieval(
-                            result.retrieval_time,
-                            issued_at=result.request.issued_at,
-                        )
-                        ev = pending.pop(item, None)
-                        if ev is not None and not ev.triggered:
-                            ev.succeed(result)
-                self.collector.record_request(
-                    hit=False, access_time=self.env.now - t0, issued_at=t0
-                )
-            else:
-                result = yield self.origin.fetch(item, kind="demand", client=client_id)
-                controller.on_fetch_complete(
-                    item, now=self.env.now, size=result.request.size, prefetched=False
-                )
-                self.collector.record_request(
-                    hit=False, access_time=self.env.now - t0, issued_at=t0
-                )
-                self.collector.record_retrieval(
-                    result.retrieval_time, issued_at=result.request.issued_at
-                )
-            # Plan speculative fetches triggered by this request.  Items
-            # with a fetch already pending are skipped: overwriting the
-            # pending event would orphan its joiners (a demand completion
-            # clears the controller's in-flight mark even while a prefetch
-            # of the same item is mid-air, so the policy can legitimately
-            # re-choose one).
-            chosen = controller.plan(
-                now=self.env.now,
-                estimated_utilization=self.link.offered_load(),
-            )
-            fresh = [(it, p) for it, p in chosen if it not in pending]
-            for it, _p in chosen:
-                if it in pending:
-                    controller.on_plan_superseded(it)
-            self.collector.record_prefetch_issued(len(fresh))
-            for chosen_item, _prob in fresh:
-                ev = Event(self.env)
-                pending[chosen_item] = ev
-                self.env.process(prefetch_process(chosen_item))
-
-        return handle_request
-
-    # ------------------------------------------------------------------
-    def _client_process(self, client_id: int, source, controller):
-        spec = self.config.workload
-        arrivals = spec.make_arrivals(client_id)
-        arrival_rng = self.streams.get(f"client{client_id}/arrivals")
-        handle_request = self._request_handler(client_id, controller)
-
-        # Batched reference stream: bit-identical to per-request
-        # next_item() because the items RNG is dedicated per client.
-        items = source.stream()
-        while True:
-            yield self.env.timeout(arrivals.next_gap(arrival_rng))
-            item = next(items)
-            # Open-loop arrivals: requests are spawned, not awaited, so the
-            # request rate is unaffected by congestion or prefetching —
-            # exactly the paper's §2.1 assumption.
-            self.env.process(handle_request(item))
-
-    def _trace_client_process(self, client_id: int, records, controller):
-        """Replay driver: issue this client's records at their exact
-        recorded timestamps (absolute-time scheduling, no float drift)."""
-        handle_request = self._request_handler(client_id, controller)
-        for record in records:
-            if record.time > self.config.duration:
-                break  # the run would end before this request fires
-            yield self.env.at(record.time)
-            # Same open-loop spawn as the synthetic driver: replayed
-            # arrivals are never delayed by congestion either.
-            self.env.process(handle_request(record.item))
+        env = self.env
+        duration = self.config.duration
+        for record in self.replay.iter_merged():
+            if record.time > duration:
+                break  # the run ends before this (and every later) record
+            yield env.at(record.time)
+            # Open-loop spawn, same as the synthetic driver: replayed
+            # arrivals are never delayed by congestion.
+            env.process(handlers[record.client](record.item))
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationOutput:
         self.env.run(until=self.config.duration)
-        metrics = self.collector.finalize()
+        shards = tuple(
+            ProxyShardStats(
+                node_id=node.node_id,
+                clients=tuple(node.clients),
+                metrics=node.collector.finalize(),
+                bandwidth=node.bandwidth,
+                link_demand_fetches=node.link.demand_fetches,
+                link_prefetch_fetches=node.link.prefetch_fetches,
+                link_prefetch_bytes=node.link.prefetch_bytes,
+                link_demand_bytes=node.link.demand_bytes,
+            )
+            for node in self.nodes
+        )
+        if len(shards) == 1:
+            metrics = shards[0].metrics
+        else:
+            metrics = finalize_aggregate([n.collector for n in self.nodes])
         return SimulationOutput(
             metrics=metrics,
             cache_stats=[c.stats for c in self._caches],
             controller_stats=[c.stats for c in self.clients],
-            link_demand_fetches=self.link.demand_fetches,
-            link_prefetch_fetches=self.link.prefetch_fetches,
-            link_prefetch_bytes=self.link.prefetch_bytes,
-            link_demand_bytes=self.link.demand_bytes,
+            link_demand_fetches=sum(s.link_demand_fetches for s in shards),
+            link_prefetch_fetches=sum(s.link_prefetch_fetches for s in shards),
+            link_prefetch_bytes=sum(s.link_prefetch_bytes for s in shards),
+            link_demand_bytes=sum(s.link_demand_bytes for s in shards),
+            per_proxy=shards,
         )
 
 

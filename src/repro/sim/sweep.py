@@ -76,7 +76,9 @@ __all__ = [
 #: Bump when the stored result layout (or anything the hash cannot see,
 #: e.g. metric definitions) changes incompatibly.
 #: v2: warmup gating moved from completion time to issue time (PR 3).
-CACHE_SCHEMA_VERSION = 2
+#: v3: SimulationOutput grew per-proxy shards; SimulationConfig grew a
+#:     topology; demand fetches joined the unified fetch table (PR 4).
+CACHE_SCHEMA_VERSION = 3
 
 
 # ----------------------------------------------------------------------

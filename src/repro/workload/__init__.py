@@ -6,6 +6,7 @@ from repro.workload.arrivals import (
     PoissonArrivals,
     WeibullArrivals,
 )
+from repro.workload.ingest import IngestedTrace, ingest_common_log, ingest_csv
 from repro.workload.markov_source import MarkovChainSource
 from repro.workload.replay import TraceReplaySource, trace_digest
 from repro.workload.sessions import (
@@ -20,7 +21,7 @@ from repro.workload.sizes import (
     ParetoSize,
     SizeDistribution,
 )
-from repro.workload.trace import TraceRecord, load_trace, save_trace
+from repro.workload.trace import TraceRecord, iter_trace, load_trace, save_trace
 from repro.workload.zipf import ZipfCatalog
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "DeterministicArrivals",
     "ExponentialSize",
     "FixedSize",
+    "IngestedTrace",
     "LognormalSize",
     "MarkovChainSource",
     "ParetoSize",
@@ -40,6 +42,9 @@ __all__ = [
     "WorkloadSpec",
     "ZipfCatalog",
     "generate_trace",
+    "ingest_common_log",
+    "ingest_csv",
+    "iter_trace",
     "load_trace",
     "save_trace",
     "trace_digest",

@@ -1,0 +1,271 @@
+"""External access-log ingestion: real-world logs → :class:`TraceRecord`.
+
+The replay engine (:mod:`repro.workload.replay`) consumes the repo's own
+trace format; this module adapts the two formats real proxy/CDN workloads
+usually arrive in:
+
+* **generic CSV** (:func:`ingest_csv`) — any delimited file with a
+  timestamp, client, item and optional size column, located by header name
+  or position;
+* **Common Log Format** (:func:`ingest_common_log`) — the
+  ``host ident user [timestamp] "METHOD path HTTP/x" status bytes`` lines
+  every Apache/nginx-style server emits.
+
+Both interners map raw client/item identities (hostnames, URL paths, …) to
+dense non-negative ints in first-seen order — exactly the id space the
+simulation homes clients and shards catalogues over — and shift timestamps
+to be relative to the first record, so a log from any epoch replays from
+``t=0``.  The result round-trips through :func:`~repro.workload.trace.
+save_trace` / :func:`~repro.workload.trace.load_trace` losslessly (pinned
+by test), so a converted log is a first-class replay trace::
+
+    ingest_common_log("access.log").save("access.jsonl")
+    # then: python -m repro trace-replay --trace access.jsonl
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from dataclasses import dataclass, field
+from datetime import datetime
+from pathlib import Path
+
+from repro.errors import TraceFormatError
+from repro.workload.trace import TraceRecord, save_trace
+
+__all__ = ["IngestedTrace", "ingest_csv", "ingest_common_log"]
+
+#: sentinel distinguishing "default size column" (a header named ``size``
+#: if present, else none) from an explicitly named one (absent is an error)
+_DEFAULT_SIZE_COL = object()
+
+#: ``host ident authuser [timestamp] "request" status bytes`` (+ optional
+#: combined-format referrer/agent tail, which we ignore)
+_CLF_PATTERN = re.compile(
+    r'^(?P<host>\S+)\s+(?P<ident>\S+)\s+(?P<user>\S+)\s+'
+    r'\[(?P<time>[^\]]+)\]\s+"(?P<method>\S+)\s+(?P<path>\S+)(?:\s+(?P<proto>[^"]*))?"\s+'
+    r'(?P<status>\d{3})\s+(?P<size>\d+|-)'
+)
+
+_CLF_TIME_FORMAT = "%d/%b/%Y:%H:%M:%S %z"
+
+
+@dataclass
+class IngestedTrace:
+    """A converted external log: records plus the identity mappings.
+
+    ``client_ids`` / ``item_ids`` map the raw identities (hostname, URL
+    path, CSV cell, …) to the dense ints the records carry, so analyses
+    can translate results back to the original names.
+    """
+
+    records: list[TraceRecord]
+    client_ids: dict[str, int] = field(default_factory=dict)
+    item_ids: dict[str, int] = field(default_factory=dict)
+    skipped: int = 0  #: malformed lines dropped (``skip_malformed=True``)
+
+    def save(self, path: str | Path) -> int:
+        """Write the converted trace (.csv or .jsonl); returns the count."""
+        return save_trace(self.records, path)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class _Interner:
+    """First-seen-order dense int ids for arbitrary string identities."""
+
+    def __init__(self) -> None:
+        self.ids: dict[str, int] = {}
+
+    def __call__(self, raw: str) -> int:
+        ids = self.ids
+        found = ids.get(raw)
+        if found is None:
+            found = ids[raw] = len(ids)
+        return found
+
+
+def _finalize(
+    rows: list[tuple[float, int, int, float]],
+    clients: _Interner,
+    items: _Interner,
+    skipped: int,
+    source: Path,
+) -> IngestedTrace:
+    if not rows:
+        raise TraceFormatError(f"{source}: no ingestible records")
+    # External logs are usually time-ordered but second-granularity stamps
+    # tie and occasionally invert; a stable sort preserves the file order
+    # of equal-time lines while making the result a valid trace.
+    rows.sort(key=lambda row: row[0])
+    origin = rows[0][0]
+    records = [
+        TraceRecord(time=t - origin, client=c, item=i, size=s)
+        for t, c, i, s in rows
+    ]
+    return IngestedTrace(
+        records=records,
+        client_ids=dict(clients.ids),
+        item_ids=dict(items.ids),
+        skipped=skipped,
+    )
+
+
+def ingest_csv(
+    path: str | Path,
+    *,
+    time_col: str | int = "time",
+    client_col: str | int = "client",
+    item_col: str | int = "item",
+    size_col: str | int | None = _DEFAULT_SIZE_COL,
+    default_size: float = 1.0,
+    delimiter: str = ",",
+    skip_malformed: bool = False,
+) -> IngestedTrace:
+    """Convert a delimited access log into a replayable trace.
+
+    Columns are located by header name (strings) or 0-based position
+    (ints; the file is then read headerless).  Client and item cells may
+    hold anything — they are interned to dense ints — while the time cell
+    must parse as a float (epoch seconds or any monotone unit).  A missing
+    / empty / non-positive size cell falls back to ``default_size``.
+
+    ``size_col`` left at its default uses a header column named ``size``
+    when one exists and defaults every size otherwise; *explicitly* naming
+    a column that the header lacks is an error, and ``size_col=None``
+    ignores sizes entirely.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"trace file not found: {path}")
+    by_name = any(isinstance(c, str) for c in (time_col, client_col, item_col))
+    clients, items = _Interner(), _Interner()
+    item_sizes: dict[int, float] = {}
+    rows: list[tuple[float, int, int, float]] = []
+    skipped = 0
+    with path.open(newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        start = 1
+        if by_name:
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise TraceFormatError(f"{path}: empty log file") from None
+            start = 2
+            positions = {name.strip(): i for i, name in enumerate(header)}
+
+            def _index(col: str | int, label: str) -> int | None:
+                if col is None:
+                    return None
+                if isinstance(col, int):
+                    return col
+                if col not in positions:
+                    raise TraceFormatError(
+                        f"{path}: no column {col!r} for {label} "
+                        f"(header: {header})"
+                    )
+                return positions[col]
+
+            idx = (
+                _index(time_col, "time"),
+                _index(client_col, "client"),
+                _index(item_col, "item"),
+            )
+            if size_col is None:
+                size_idx = None
+            elif size_col is _DEFAULT_SIZE_COL:
+                size_idx = positions.get("size")  # absent: sizes default
+            else:
+                size_idx = _index(size_col, "size")
+        else:
+            idx = (int(time_col), int(client_col), int(item_col))
+            if size_col is None or size_col is _DEFAULT_SIZE_COL:
+                size_idx = None  # headerless files have no "size" to find
+            else:
+                size_idx = int(size_col)
+        for lineno, row in enumerate(reader, start=start):
+            if not row:
+                continue
+            try:
+                time = float(row[idx[0]])
+                client = clients(row[idx[1]].strip())
+                item = items(row[idx[2]].strip())
+                size = default_size
+                if size_idx is not None and size_idx < len(row):
+                    cell = row[size_idx].strip()
+                    if cell and cell != "-":
+                        size = float(cell)
+                if size <= 0:
+                    size = default_size
+            except (IndexError, ValueError) as exc:
+                if skip_malformed:
+                    skipped += 1
+                    continue
+                raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc
+            # first seen size wins for the whole item: replay's origin
+            # keeps per-item sizes stable, so the converted trace should
+            # carry them stably too (same rule as ingest_common_log)
+            size = item_sizes.setdefault(item, size)
+            rows.append((time, client, item, size))
+    return _finalize(rows, clients, items, skipped, path)
+
+
+def ingest_common_log(
+    path: str | Path,
+    *,
+    default_size: float = 1.0,
+    size_scale: float = 1.0,
+    skip_malformed: bool = False,
+) -> IngestedTrace:
+    """Convert an Apache/nginx Common (or Combined) Log Format file.
+
+    Hosts become clients, request paths become items, the bracketed
+    timestamp becomes seconds relative to the first line, and the response
+    byte count — scaled by ``size_scale``, e.g. ``1/1024`` for KiB units —
+    becomes the item size (``-`` or ``0`` bytes fall back to
+    ``default_size``; an item's size is its *first* seen response size,
+    matching the origin's stable-size contract on replay).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"trace file not found: {path}")
+    clients, items = _Interner(), _Interner()
+    item_sizes: dict[int, float] = {}
+    rows: list[tuple[float, int, int, float]] = []
+    skipped = 0
+    with path.open(encoding="utf-8", errors="replace") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            match = _CLF_PATTERN.match(line)
+            if match is None:
+                if skip_malformed:
+                    skipped += 1
+                    continue
+                raise TraceFormatError(
+                    f"{path}:{lineno}: not a Common Log Format line: {line[:80]!r}"
+                )
+            try:
+                stamp = datetime.strptime(match["time"], _CLF_TIME_FORMAT)
+            except ValueError as exc:
+                if skip_malformed:
+                    skipped += 1
+                    continue
+                raise TraceFormatError(
+                    f"{path}:{lineno}: bad timestamp {match['time']!r}"
+                ) from exc
+            size = default_size
+            if match["size"] != "-":
+                raw = float(match["size"]) * size_scale
+                if raw > 0:
+                    size = raw
+            item = items(match["path"])
+            # first seen response size wins for the whole item, so the
+            # converted trace carries stable per-item sizes (the origin's
+            # contract on replay)
+            size = item_sizes.setdefault(item, size)
+            rows.append((stamp.timestamp(), clients(match["host"]), item, size))
+    return _finalize(rows, clients, items, skipped, path)

@@ -107,6 +107,32 @@ class WorkloadSpec:
                     f"client {client}: unknown override field(s) {sorted(unknown)}; "
                     f"allowed: {CLIENT_OVERRIDE_FIELDS}"
                 )
+            # Value validation, mirroring the top-level checks: a bad
+            # override would otherwise surface only deep inside the run
+            # (or not at all — e.g. a degenerate catalogue), far from the
+            # spec that caused it.
+            if "request_rate" in overrides and overrides["request_rate"] <= 0:
+                raise ConfigurationError(
+                    f"client {client}: request_rate override must be > 0, "
+                    f"got {overrides['request_rate']!r}"
+                )
+            if "catalog_size" in overrides and int(overrides["catalog_size"]) < 2:
+                raise ConfigurationError(
+                    f"client {client}: catalog_size override must be >= 2, "
+                    f"got {overrides['catalog_size']!r}"
+                )
+            if "follow_probability" in overrides and not (
+                0.0 <= overrides["follow_probability"] <= 1.0
+            ):
+                raise ConfigurationError(
+                    f"client {client}: follow_probability override must be "
+                    f"in [0, 1], got {overrides['follow_probability']!r}"
+                )
+            if "zipf_exponent" in overrides and overrides["zipf_exponent"] < 0:
+                raise ConfigurationError(
+                    f"client {client}: zipf_exponent override must be >= 0, "
+                    f"got {overrides['zipf_exponent']!r}"
+                )
 
     @property
     def per_client_rate(self) -> float:

@@ -18,7 +18,7 @@ from typing import Iterable, Iterator
 
 from repro.errors import TraceFormatError
 
-__all__ = ["TraceRecord", "save_trace", "load_trace"]
+__all__ = ["TraceRecord", "save_trace", "load_trace", "iter_trace"]
 
 _CSV_HEADER = ["time", "client", "item", "size"]
 
@@ -63,19 +63,36 @@ def save_trace(records: Iterable[TraceRecord], path: str | Path) -> int:
 
 def load_trace(path: str | Path) -> list[TraceRecord]:
     """Read a trace file; validates schema and time ordering."""
+    return list(iter_trace(path))
+
+
+def iter_trace(path: str | Path) -> Iterator[TraceRecord]:
+    """Stream a trace file record by record (constant memory).
+
+    Yields validated :class:`TraceRecord` objects in file order, checking
+    time ordering on the fly, so multi-GB traces can drive the replay
+    engine without ever being materialised (:func:`load_trace` is this
+    plus ``list``).
+    """
     path = Path(path)
     if not path.exists():
         raise TraceFormatError(f"trace file not found: {path}")
     if path.suffix == ".csv":
-        records = list(_read_csv(path))
+        records = _read_csv(path)
     elif path.suffix == ".jsonl":
-        records = list(_read_jsonl(path))
+        records = _read_jsonl(path)
     else:
         raise TraceFormatError(
             f"unsupported trace extension {path.suffix!r}; use .csv or .jsonl"
         )
-    _check_sorted(records)
-    return records
+    last = float("-inf")
+    for record in records:
+        if record.time < last:
+            raise TraceFormatError(
+                f"trace not time-ordered: {record.time} after {last}"
+            )
+        last = record.time
+        yield record
 
 
 def _check_sorted(records: list[TraceRecord]) -> None:

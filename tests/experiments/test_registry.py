@@ -16,6 +16,7 @@ EXPECTED_IDS = {
     "load-impedance",
     "policy-ablation",
     "trace-replay",
+    "sharding",
 }
 
 

@@ -44,6 +44,15 @@ class TestCLI:
         args = parser.parse_args(["fig2", "--fast", "--no-plots"])
         assert args.experiment == "fig2" and args.fast and args.no_plots
 
+    def test_proxies_flag_parses_and_dedupes(self):
+        parser = build_parser()
+        assert parser.parse_args(["sharding", "--proxies", "1,2,8"]).proxies == (1, 2, 8)
+        # repeated counts would collide as sweep keys: dedupe, keep order
+        assert parser.parse_args(["sharding", "--proxies", "2,1,2"]).proxies == (2, 1)
+        for bad in ("0,2", "a,b", ""):
+            with pytest.raises(SystemExit):
+                parser.parse_args(["sharding", "--proxies", bad])
+
     def test_sweep_flag_default_dir(self):
         from repro.cli import DEFAULT_SWEEP_CACHE
 

@@ -1,0 +1,208 @@
+"""Tests for external access-log ingestion (CSV + Common Log Format).
+
+The contract pinned here: a converted log is a *first-class* replay trace
+— it round-trips losslessly through ``save_trace``/``load_trace`` and
+drives :class:`TraceReplaySource` directly.
+"""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workload.ingest import ingest_common_log, ingest_csv
+from repro.workload.replay import TraceReplaySource
+from repro.workload.trace import load_trace
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+CSV_LOG = """time,client,item,size
+100.0,alice,/index.html,2.5
+100.5,bob,/logo.png,0.5
+101.0,alice,/index.html,2.5
+102.0,carol,/api/data,1.25
+"""
+
+
+CLF_LOG = (
+    '203.0.113.9 - - [10/Oct/2024:13:55:36 +0000] "GET /index.html HTTP/1.0" 200 2326\n'
+    '198.51.100.4 - frank [10/Oct/2024:13:55:38 +0000] "GET /logo.png HTTP/1.1" 200 512\n'
+    '203.0.113.9 - - [10/Oct/2024:13:55:40 +0000] "POST /api/data HTTP/1.1" 201 -\n'
+    # combined format: referrer/agent tail must be ignored, not rejected
+    '198.51.100.4 - - [10/Oct/2024:13:55:41 +0000] "GET /index.html HTTP/1.1" 304 0 '
+    '"http://example.com" "Mozilla/5.0"\n'
+)
+
+
+class TestCsvIngest:
+    def test_basic_conversion(self, tmp_path):
+        trace = ingest_csv(write(tmp_path, "log.csv", CSV_LOG))
+        assert len(trace) == 4
+        # timestamps are shifted so the log replays from t=0
+        assert [r.time for r in trace.records] == [0.0, 0.5, 1.0, 2.0]
+        # identities intern to dense ints in first-seen order
+        assert trace.client_ids == {"alice": 0, "bob": 1, "carol": 2}
+        assert trace.item_ids == {"/index.html": 0, "/logo.png": 1, "/api/data": 2}
+        # repeated item keeps its id and recorded size
+        assert [r.item for r in trace.records] == [0, 1, 0, 2]
+        assert [r.size for r in trace.records] == [2.5, 0.5, 2.5, 1.25]
+        assert trace.skipped == 0
+
+    def test_round_trip_through_trace_io(self, tmp_path):
+        trace = ingest_csv(write(tmp_path, "log.csv", CSV_LOG))
+        for suffix in ("jsonl", "csv"):
+            out = tmp_path / f"converted.{suffix}"
+            assert trace.save(out) == len(trace)
+            assert load_trace(out) == trace.records
+
+    def test_converted_log_drives_the_replay_engine(self, tmp_path):
+        trace = ingest_csv(write(tmp_path, "log.csv", CSV_LOG))
+        out = tmp_path / "converted.jsonl"
+        trace.save(out)
+        source = TraceReplaySource.from_file(out)
+        assert source.num_clients == 3
+        assert source.size_map() == {0: 2.5, 1: 0.5, 2: 1.25}
+        assert [r.item for r in source.client_records(0)] == [0, 0]
+
+    def test_positional_columns_headerless(self, tmp_path):
+        path = write(tmp_path, "log.csv", "5.0;u1;objA\n6.0;u2;objB\n")
+        trace = ingest_csv(
+            path, time_col=0, client_col=1, item_col=2, size_col=None,
+            delimiter=";",
+        )
+        assert [(r.time, r.client, r.item, r.size) for r in trace.records] == [
+            (0.0, 0, 0, 1.0),
+            (1.0, 1, 1, 1.0),
+        ]
+
+    def test_out_of_order_lines_are_stably_sorted(self, tmp_path):
+        path = write(
+            tmp_path, "log.csv",
+            "time,client,item\n10.0,a,x\n9.0,b,y\n10.0,c,z\n",
+        )
+        trace = ingest_csv(path, size_col=None)
+        # sorted by time; equal-time lines keep file order (stable sort)
+        assert [r.time for r in trace.records] == [0.0, 1.0, 1.0]
+        assert [r.client for r in trace.records] == [1, 0, 2]
+
+    def test_item_sizes_are_stabilised_first_seen_wins(self, tmp_path):
+        # Replay's origin keeps one stable size per item (first record
+        # wins), so the converted trace must carry sizes that way too —
+        # a later conflicting cell must not smuggle in a second size.
+        path = write(
+            tmp_path, "log.csv",
+            "time,client,item,size\n1.0,a,x,10\n2.0,b,x,1000\n3.0,a,x,\n",
+        )
+        trace = ingest_csv(path)
+        assert [r.size for r in trace.records] == [10.0, 10.0, 10.0]
+
+    def test_positional_columns_default_size_col(self, tmp_path):
+        # headerless files have no "size" header for the default to find:
+        # the sentinel must quietly mean "no size column", not int("size")
+        path = write(tmp_path, "log.csv", "5.0,u1,objA\n6.0,u2,objB\n")
+        trace = ingest_csv(path, time_col=0, client_col=1, item_col=2)
+        assert [r.size for r in trace.records] == [1.0, 1.0]
+
+    def test_explicitly_requesting_size_when_absent_raises(self, tmp_path):
+        # an *explicit* size_col="size" is a real request, distinct from
+        # the identical-looking default — absence must error, not default
+        path = write(tmp_path, "log.csv", "time,client,item,bytes\n1.0,a,x,5\n")
+        with pytest.raises(TraceFormatError, match="'size'"):
+            ingest_csv(path, size_col="size")
+        assert ingest_csv(path, size_col="bytes").records[0].size == 5.0
+
+    def test_default_size_column_may_be_absent(self, tmp_path):
+        path = write(tmp_path, "log.csv", "time,client,item\n1.0,a,x\n")
+        trace = ingest_csv(path, default_size=3.0)
+        assert trace.records[0].size == 3.0
+
+    def test_explicitly_named_missing_column_is_an_error(self, tmp_path):
+        path = write(tmp_path, "log.csv", "time,client,item\n1.0,a,x\n")
+        with pytest.raises(TraceFormatError, match="bytes"):
+            ingest_csv(path, size_col="bytes")
+
+    def test_empty_or_unparseable_sizes_fall_back(self, tmp_path):
+        path = write(
+            tmp_path, "log.csv",
+            "time,client,item,size\n1.0,a,x,\n2.0,a,y,-\n3.0,a,z,0\n",
+        )
+        trace = ingest_csv(path, default_size=7.0)
+        assert [r.size for r in trace.records] == [7.0, 7.0, 7.0]
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = write(
+            tmp_path, "log.csv",
+            "time,client,item\n1.0,a,x\nnot-a-time,b,y\n",
+        )
+        with pytest.raises(TraceFormatError, match=r":3"):
+            ingest_csv(path, size_col=None)
+
+    def test_skip_malformed_counts_drops(self, tmp_path):
+        path = write(
+            tmp_path, "log.csv",
+            "time,client,item\n1.0,a,x\nnot-a-time,b,y\n2.0,c,z\n",
+        )
+        trace = ingest_csv(path, size_col=None, skip_malformed=True)
+        assert len(trace) == 2
+        assert trace.skipped == 1
+
+    def test_empty_file_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            ingest_csv(write(tmp_path, "log.csv", ""))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            ingest_csv(tmp_path / "nope.csv")
+
+
+class TestCommonLogIngest:
+    def test_basic_conversion(self, tmp_path):
+        trace = ingest_common_log(write(tmp_path, "access.log", CLF_LOG))
+        assert len(trace) == 4
+        assert [r.time for r in trace.records] == [0.0, 2.0, 4.0, 5.0]
+        # hosts become clients, paths become items
+        assert trace.client_ids == {"203.0.113.9": 0, "198.51.100.4": 1}
+        assert trace.item_ids == {
+            "/index.html": 0, "/logo.png": 1, "/api/data": 2,
+        }
+        # byte counts become sizes; "-" and 0 fall back to default_size;
+        # an item's size is its first seen response size
+        assert [r.size for r in trace.records] == [2326.0, 512.0, 1.0, 2326.0]
+
+    def test_size_scale(self, tmp_path):
+        trace = ingest_common_log(
+            write(tmp_path, "access.log", CLF_LOG), size_scale=1 / 1024
+        )
+        assert trace.records[0].size == pytest.approx(2326 / 1024)
+
+    def test_round_trip_and_replay(self, tmp_path):
+        trace = ingest_common_log(write(tmp_path, "access.log", CLF_LOG))
+        out = tmp_path / "access.jsonl"
+        trace.save(out)
+        assert load_trace(out) == trace.records
+        source = TraceReplaySource.from_file(out)
+        assert source.num_clients == 2
+        assert len(source) == 4
+
+    def test_non_clf_line_raises(self, tmp_path):
+        path = write(tmp_path, "access.log", "this is not a log line\n")
+        with pytest.raises(TraceFormatError, match="Common Log Format"):
+            ingest_common_log(path)
+
+    def test_skip_malformed(self, tmp_path):
+        path = write(tmp_path, "access.log", CLF_LOG + "garbage\n")
+        trace = ingest_common_log(path, skip_malformed=True)
+        assert len(trace) == 4
+        assert trace.skipped == 1
+
+    def test_bad_timestamp(self, tmp_path):
+        line = '1.2.3.4 - - [not a date] "GET /x HTTP/1.0" 200 10\n'
+        with pytest.raises(TraceFormatError, match="bad timestamp"):
+            ingest_common_log(write(tmp_path, "access.log", line))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            ingest_common_log(tmp_path / "nope.log")
