@@ -35,6 +35,21 @@ __all__ = ["main", "build_parser"]
 DEFAULT_SWEEP_CACHE = ".repro-sweep-cache"
 
 
+def _cooperation_modes(raw: str) -> tuple[str, ...]:
+    """Parse ``--cooperation`` ("none,owner-probe") into a mode tuple."""
+    from repro.network.topology import COOPERATION_MODES
+
+    modes = tuple(
+        dict.fromkeys(part.strip() for part in raw.split(",") if part.strip())
+    )
+    if not modes or any(mode not in COOPERATION_MODES for mode in modes):
+        raise argparse.ArgumentTypeError(
+            f"--cooperation wants comma-separated modes from "
+            f"{COOPERATION_MODES}, got {raw!r}"
+        )
+    return modes
+
+
 def _proxy_counts(raw: str) -> tuple[int, ...]:
     """Parse ``--proxies`` ("1,2,8") into a tuple of positive ints."""
     try:
@@ -100,6 +115,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "proxy counts for the 'sharding' experiment's sweep, e.g. "
             "'1,2,8' (topology-aware experiments only)"
+        ),
+    )
+    parser.add_argument(
+        "--cooperation",
+        type=_cooperation_modes,
+        default=None,
+        metavar="MODE[,MODE...]",
+        help=(
+            "cooperation modes for the 'cooperative-caching' experiment's "
+            "sweep: none, owner-probe, broadcast (comma list to compare "
+            "several; cooperation-aware experiments only)"
         ),
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
@@ -184,6 +210,8 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
         experiment.trace_path = args.trace
     if args.proxies is not None and hasattr(experiment, "proxy_counts"):
         experiment.proxy_counts = args.proxies
+    if args.cooperation is not None and hasattr(experiment, "cooperation_modes"):
+        experiment.cooperation_modes = args.cooperation
     result = experiment.run(fast=args.fast, jobs=args.jobs)
     report = result.render(plots=not args.no_plots)
     if args.csv_dir is not None:
@@ -212,25 +240,26 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {key:18s} {exp.paper_artifact:45s} {exp.description}")
         return 0
     targets = sorted(registry) if args.experiment == "all" else [args.experiment]
-    if args.proxies is not None:
+
+    def warn_if_unconsumed(value, attr: str, flag: str, example: str) -> None:
+        """Flags are consumed by experiments exposing a class attribute
+        (no need to instantiate); warn when no selected target does."""
+        if value is None:
+            return
         known = [t for t in targets if t in registry]
-        if known and not any(hasattr(registry[t], "proxy_counts") for t in known):
+        if known and not any(hasattr(registry[t], attr) for t in known):
             print(
-                f"warning: --proxies is only consumed by topology-aware "
-                f"experiments (e.g. sharding); {args.experiment!r} ignores it",
+                f"warning: {flag} is only consumed by experiments with "
+                f"{attr} (e.g. {example}); {args.experiment!r} ignores it",
                 file=sys.stderr,
             )
-    if args.trace is not None:
-        # hasattr on the experiment class: trace_path is a class attribute
-        # of trace-aware experiments, no need to instantiate
-        known = [t for t in targets if t in registry]
-        if known and not any(hasattr(registry[t], "trace_path") for t in known):
-            print(
-                f"warning: --trace is only consumed by trace-aware "
-                f"experiments (e.g. trace-replay); {args.experiment!r} "
-                f"ignores it",
-                file=sys.stderr,
-            )
+
+    warn_if_unconsumed(
+        args.cooperation, "cooperation_modes", "--cooperation",
+        "cooperative-caching",
+    )
+    warn_if_unconsumed(args.proxies, "proxy_counts", "--proxies", "sharding")
+    warn_if_unconsumed(args.trace, "trace_path", "--trace", "trace-replay")
     # --sweep routes every experiment's grids through one session engine
     # with an on-disk result cache; --jobs sizes its shared pool (the
     # engine inherits the session default set by Experiment.run).

@@ -5,6 +5,7 @@ Importing this package registers all experiments; use
 """
 
 from repro.experiments import (  # noqa: F401 - imports register experiments
+    cooperative_caching,
     estimator_eval,
     figure1,
     figure2,

@@ -1,0 +1,193 @@
+"""`cooperative-caching` — let proxies serve each other's cache hits.
+
+PR 4 sharded the proxy tier, but under item-hash routing a miss only
+borrowed the owning proxy's *link*: the fleet behaved like N isolated
+caches.  This experiment turns on inter-proxy cooperation
+(:class:`~repro.network.topology.CooperationConfig`) and sweeps the three
+axes where it matters:
+
+* **cooperation mode** — ``none`` (the isolated PR-4 tier), ``owner-probe``
+  (a miss asks the item's consistent-hash ring owner) and ``broadcast``
+  (a miss asks every peer, owner first);
+* **num_proxies** — more shards mean a larger fraction of the catalogue is
+  owned elsewhere, so there is more to gain (and more probes to pay for);
+* **cache size** — cooperation interacts with memory pressure: small
+  caches evict before a peer can benefit, large caches make the *local*
+  hit ratio so high that probes rarely fire.
+
+Routing is ``item-hash`` throughout: the ring concentrates each item's
+demand-fetched copies at its owner, which is exactly the proxy cooperation
+probes — so owner-probe captures most of broadcast's yield at a fraction
+of the probe traffic.
+
+Readings to expect: remote hits convert origin round-trips over a hot
+uplink into peer-link transfers, so t̄ falls and the *origin* utilisation ρ
+falls with it; broadcast finds strictly more remote hits than owner-probe
+(it also checks non-owner peers that admitted items after their own remote
+hits) but pays a probe on every peer.
+
+CLI: ``python -m repro cooperative-caching --cooperation owner-probe`` (or
+a comma list) restricts the swept modes; ``--proxies 2,4,8`` overrides the
+swept tier sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.base import Experiment, ExperimentResult, register
+from repro.network.topology import CooperationConfig, TopologyConfig
+from repro.sim.config import SimulationConfig
+from repro.sim.sweep import SweepPoint
+from repro.workload.sessions import WorkloadSpec
+
+__all__ = ["CooperativeCachingExperiment"]
+
+
+@register
+class CooperativeCachingExperiment(Experiment):
+    experiment_id = "cooperative-caching"
+    paper_artifact = "Scale-out extension (inter-proxy cooperative caching)"
+    description = "Remote-hit yield and t_bar vs cooperation mode x proxies x cache"
+
+    #: cooperation modes to sweep (overridden by the CLI ``--cooperation``)
+    cooperation_modes: tuple[str, ...] | None = None
+    #: proxy counts to sweep (overridden by the CLI ``--proxies``)
+    proxy_counts: tuple[int, ...] | None = None
+
+    def base_config(self, *, fast: bool) -> SimulationConfig:
+        return SimulationConfig(
+            workload=WorkloadSpec(
+                num_clients=8,
+                request_rate=40.0,
+                catalog_size=400,
+                zipf_exponent=0.9,
+                follow_probability=0.7,
+            ),
+            bandwidth=30.0,  # per-proxy uplink: the tier runs warm
+            cache_policy="lru",
+            cache_capacity=40,
+            predictor="true-distribution",
+            policy="threshold-dynamic",
+            duration=120.0 if fast else 400.0,
+            warmup=24.0 if fast else 60.0,
+            seed=29,
+        )
+
+    def _modes(self) -> tuple[str, ...]:
+        if self.cooperation_modes is not None:
+            return tuple(self.cooperation_modes)
+        return ("none", "owner-probe", "broadcast")
+
+    def _counts(self, *, fast: bool) -> tuple[int, ...]:
+        if self.proxy_counts is not None:
+            return tuple(self.proxy_counts)
+        return (2,) if fast else (2, 4)
+
+    def _cache_sizes(self, *, fast: bool) -> tuple[int, ...]:
+        return (16, 40) if fast else (16, 40, 80)
+
+    def _execute(self, *, fast: bool = False) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id=self.experiment_id,
+            title="Cooperative caching: remote hits vs mode x proxies x cache",
+        )
+        base = self.base_config(fast=fast)
+        modes = self._modes()
+        counts = self._counts(fast=fast)
+        cache_sizes = self._cache_sizes(fast=fast)
+        reps = 2 if fast else 3
+        points = [
+            SweepPoint(
+                key=f"{mode}/P={proxies}/C={cache}",
+                config=replace(
+                    base,
+                    cache_capacity=cache,
+                    topology=TopologyConfig(
+                        num_proxies=proxies,
+                        routing="item-hash",
+                        cooperation=CooperationConfig(mode=mode),
+                    ),
+                ),
+                replications=reps,
+                meta={"mode": mode, "proxies": proxies, "cache": cache},
+            )
+            for mode in modes
+            for proxies in counts
+            for cache in cache_sizes
+        ]
+        outcomes = self.engine.run(points)
+
+        mid_cache = cache_sizes[len(cache_sizes) // 2]
+        # The figure panel fixes the tier at its largest swept size (the
+        # full grid stays in the table): one x per cache size.
+        largest = replace(
+            outcomes,
+            points=tuple(
+                pt for pt in points if pt.meta["proxies"] == max(counts)
+            ),
+        )
+        result.sweeps.append(
+            largest.to_sweep(
+                "mean_access_time",
+                x="cache" if len(cache_sizes) > 1 else "proxies",
+                by="mode",
+                title=(
+                    f"mean access time t̄ vs cache size "
+                    f"(item-hash, {max(counts)} proxies)"
+                ),
+                x_label="cache capacity (items/client)",
+                y_label="t̄",
+                params={
+                    "bandwidth/proxy": base.bandwidth,
+                    "clients": base.workload.num_clients,
+                    "lambda": base.workload.request_rate,
+                    "proxies": max(counts),
+                },
+            )
+        )
+        rows = [
+            [
+                pt.meta["mode"],
+                pt.meta["proxies"],
+                pt.meta["cache"],
+                outcomes.mean(pt.key, "mean_access_time"),
+                outcomes.mean(pt.key, "hit_ratio"),
+                outcomes.mean(pt.key, "remote_hit_rate"),
+                outcomes.mean(pt.key, "remote_probe_hit_ratio"),
+                outcomes.mean(pt.key, "utilization"),
+                outcomes.mean(pt.key, "peer_traffic_share"),
+            ]
+            for pt in points
+        ]
+        result.tables.append(
+            (
+                "cooperation mode x proxies x cache (item-hash routing)",
+                [
+                    "mode", "proxies", "cache", "t_bar", "hit ratio",
+                    "remote hit rate", "probe yield", "rho", "peer share",
+                ],
+                rows,
+            )
+        )
+        for proxies in counts:
+            for mode in modes:
+                if mode == "none":
+                    continue
+                key = f"{mode}/P={proxies}/C={mid_cache}"
+                none_key = f"none/P={proxies}/C={mid_cache}"
+                if key in outcomes.results and none_key in outcomes.results:
+                    gain = outcomes.mean(none_key, "mean_access_time") - (
+                        outcomes.mean(key, "mean_access_time")
+                    )
+                    result.notes.append(
+                        f"P={proxies}, C={mid_cache}, {mode}: remote-hit "
+                        f"rate {outcomes.mean(key, 'remote_hit_rate'):.4f}, "
+                        f"t_bar gain vs none = {gain:.6f}"
+                    )
+        result.notes.append(
+            "remote hit rate: fraction of all requests served from a peer "
+            "proxy's cache; probe yield: fraction of probes that found the "
+            "item; peer share: fraction of transferred bytes on peer links"
+        )
+        return result

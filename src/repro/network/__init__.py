@@ -3,9 +3,10 @@
 from repro.network.link import SharedLink
 from repro.network.messages import FetchKind, FetchRequest, FetchResult
 from repro.network.server import OriginServer
-from repro.network.topology import HashRing, TopologyConfig
+from repro.network.topology import CooperationConfig, HashRing, TopologyConfig
 
 __all__ = [
+    "CooperationConfig",
     "FetchKind",
     "FetchRequest",
     "FetchResult",

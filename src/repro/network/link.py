@@ -40,8 +40,9 @@ class SharedLink:
         self.server = ProcessorSharingServer(env, capacity=self.bandwidth)
         self.demand_retrieval = Tally("demand-retrieval-time")
         self.prefetch_retrieval = Tally("prefetch-retrieval-time")
-        self._bytes = {FetchKind.DEMAND: 0.0, FetchKind.PREFETCH: 0.0}
-        self._fetches = {FetchKind.DEMAND: 0, FetchKind.PREFETCH: 0}
+        self.peer_retrieval = Tally("peer-retrieval-time")
+        self._bytes = {kind: 0.0 for kind in FetchKind}
+        self._fetches = {kind: 0 for kind in FetchKind}
 
     # ------------------------------------------------------------------
     def fetch(
@@ -68,11 +69,12 @@ class SharedLink:
                 done.fail(event._value)
                 return
             result = FetchResult(request=request, completed_at=self.env.now)
-            tally = (
-                self.demand_retrieval
-                if kind is FetchKind.DEMAND
-                else self.prefetch_retrieval
-            )
+            if kind is FetchKind.DEMAND:
+                tally = self.demand_retrieval
+            elif kind is FetchKind.PREFETCH:
+                tally = self.prefetch_retrieval
+            else:
+                tally = self.peer_retrieval
             tally.record(result.retrieval_time)
             done.succeed(result)
 
@@ -91,12 +93,20 @@ class SharedLink:
         return self._bytes[FetchKind.PREFETCH]
 
     @property
+    def peer_bytes(self) -> float:
+        return self._bytes[FetchKind.PEER]
+
+    @property
     def demand_fetches(self) -> int:
         return self._fetches[FetchKind.DEMAND]
 
     @property
     def prefetch_fetches(self) -> int:
         return self._fetches[FetchKind.PREFETCH]
+
+    @property
+    def peer_fetches(self) -> int:
+        return self._fetches[FetchKind.PEER]
 
     def utilization(self) -> float:
         """Busy fraction since time 0 (compare eq. 8/16's ρ)."""
@@ -107,5 +117,5 @@ class SharedLink:
         elapsed = horizon if horizon is not None else self.env.now
         if elapsed <= 0:
             return 0.0
-        total_bytes = self.demand_bytes + self.prefetch_bytes
+        total_bytes = self.demand_bytes + self.prefetch_bytes + self.peer_bytes
         return total_bytes / (self.bandwidth * elapsed)

@@ -13,15 +13,18 @@ _request_ids = itertools.count(1)
 
 
 class FetchKind(str, Enum):
-    """Why a fetch was issued — demand vs speculation.
+    """Why a fetch was issued — demand, speculation, or peer transfer.
 
     The distinction drives both statistics (excess retrieval cost counts
     only the *extra* traffic) and the §4 tag discipline (prefetched items
-    enter the cache untagged).
+    enter the cache untagged).  ``PEER`` marks inter-proxy cooperative
+    transfers: a remote cache hit streamed over the serving proxy's peer
+    link instead of the origin uplink.
     """
 
     DEMAND = "demand"
     PREFETCH = "prefetch"
+    PEER = "peer"
 
 
 @dataclass(frozen=True, slots=True)

@@ -20,12 +20,19 @@ Serving heavy traffic means growing that tier sideways, and
     traffic shards by content — one hot client spreads across every link,
     and growing ``num_proxies`` remaps only ``~1/P`` of the catalogue.
 
+* ``cooperation`` — inter-proxy cache sharing
+  (:class:`CooperationConfig`).  Without it a proxy tier behaves like N
+  *isolated* caches: a local miss goes straight to the origin even when a
+  peer proxy holds the item.  With it, a miss first *probes* the item's
+  ring owner (or, in ``broadcast`` mode, every peer) and serves a remote
+  hit over a dedicated inter-proxy peer link instead of the origin uplink.
+
 * per-proxy overrides — heterogeneous tiers (one thin uplink, one small
   cache) via ``bandwidth_overrides`` / ``cache_capacity_overrides``.
 
-The default config (one proxy, client-affinity, no overrides) reproduces
-the paper's single-proxy system bit-identically; everything else is the
-scale-out extension.
+The default config (one proxy, client-affinity, no cooperation, no
+overrides) reproduces the paper's single-proxy system bit-identically;
+everything else is the scale-out extension.
 """
 
 from __future__ import annotations
@@ -33,13 +40,21 @@ from __future__ import annotations
 import hashlib
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Hashable, Mapping
 
 from repro.errors import ConfigurationError
 
-__all__ = ["TopologyConfig", "HashRing", "ROUTING_NAMES"]
+__all__ = [
+    "CooperationConfig",
+    "TopologyConfig",
+    "HashRing",
+    "ROUTING_NAMES",
+    "COOPERATION_MODES",
+]
 
 ROUTING_NAMES = ("client-affinity", "item-hash")
+
+COOPERATION_MODES = ("none", "owner-probe", "broadcast")
 
 
 def _stable_hash(token: str) -> int:
@@ -75,13 +90,76 @@ class HashRing:
         self._hashes = [h for h, _ in points]
         self._owners = [p for _, p in points]
 
-    def node_of(self, item) -> int:
-        """The proxy id owning ``item``'s catalogue shard."""
+    def node_of(self, item: Hashable) -> int:
+        """The proxy id owning ``item``'s catalogue shard.
+
+        With a single proxy every item trivially maps to node 0.  The
+        result is a pure function of ``(num_proxies, vnodes, repr(item))``
+        — no simulation state — so routers and cooperation probes may call
+        it freely and always agree on the owner.
+        """
         h = _stable_hash(repr(item))
         index = bisect_right(self._hashes, h)
         if index == len(self._hashes):  # wrap past the top of the ring
             index = 0
         return self._owners[index]
+
+
+@dataclass
+class CooperationConfig:
+    """Inter-proxy cooperative caching knobs (default: no cooperation).
+
+    Attributes
+    ----------
+    mode:
+        ``none`` — proxies are isolated caches (the PR-4 behaviour,
+        bit-identical); ``owner-probe`` — a local miss probes the item's
+        owner on the consistent-hash ring and is served from any cache of
+        a client homed there; ``broadcast`` — a local miss probes *every*
+        peer proxy (owner first, then ascending node id) and is served by
+        the first holder found.
+    peer_bandwidth:
+        Capacity of each proxy's inter-proxy *peer link* — a dedicated
+        :class:`~repro.network.link.SharedLink` per node that carries the
+        remote-hit transfers it serves, contended processor-sharing style
+        exactly like the origin uplinks.  Proxies typically sit on the
+        same backbone, so the default is generous relative to the paper's
+        uplink numbers.
+    probe_latency:
+        Fixed round-trip cost of asking peers whether they hold an item
+        (paid once per probed miss, hit or not; broadcast probes fan out
+        in parallel, so it is paid once there too).
+    admit_remote_hits:
+        Whether the *requesting* client's cache also admits an item served
+        by a peer (tagged, like a demand fetch).  ``False`` turns remote
+        hits into pass-through transfers: cheaper locally in cache space,
+        but every repeat request pays the probe + peer transfer again.
+    """
+
+    mode: str = "none"
+    peer_bandwidth: float = 200.0
+    probe_latency: float = 0.002
+    admit_remote_hits: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in COOPERATION_MODES:
+            raise ConfigurationError(
+                f"unknown cooperation mode {self.mode!r}; "
+                f"known: {COOPERATION_MODES}"
+            )
+        if self.peer_bandwidth <= 0:
+            raise ConfigurationError(
+                f"peer_bandwidth must be > 0, got {self.peer_bandwidth!r}"
+            )
+        if self.probe_latency < 0:
+            raise ConfigurationError(
+                f"probe_latency must be >= 0, got {self.probe_latency!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any cooperative mode is configured."""
+        return self.mode != "none"
 
 
 @dataclass
@@ -98,6 +176,12 @@ class TopologyConfig:
         ``client-affinity`` (fetches use the client's home proxy) or
         ``item-hash`` (fetches use the item's owning proxy on a
         consistent-hash ring).  See the module docstring.
+    cooperation:
+        Inter-proxy cache sharing (:class:`CooperationConfig`).  The
+        default (``mode="none"``) keeps proxies isolated — bit-identical
+        to the tier before cooperation existed.  Cooperation composes
+        with *either* routing mode: the probe target is always the item's
+        consistent-hash ring owner, whichever link carries origin fetches.
     bandwidth_overrides:
         ``proxy id -> uplink bandwidth`` replacing the simulation default
         for that node.
@@ -105,8 +189,10 @@ class TopologyConfig:
         ``proxy id -> per-client cache capacity`` for clients homed at that
         node.
     hash_vnodes:
-        Virtual points per proxy on the item-hash ring (balance/stability
-        knob; irrelevant under client-affinity).
+        Virtual points per proxy on the consistent-hash ring (balance/
+        stability knob; used by ``item-hash`` routing and by cooperation's
+        owner lookup — both share one ring, so the probe target and the
+        item-hash route always agree).
     """
 
     num_proxies: int = 1
@@ -114,6 +200,7 @@ class TopologyConfig:
     bandwidth_overrides: Mapping[int, float] = field(default_factory=dict)
     cache_capacity_overrides: Mapping[int, int] = field(default_factory=dict)
     hash_vnodes: int = 64
+    cooperation: CooperationConfig = field(default_factory=CooperationConfig)
 
     def __post_init__(self) -> None:
         if self.num_proxies < 1:
@@ -123,6 +210,14 @@ class TopologyConfig:
         if self.routing not in ROUTING_NAMES:
             raise ConfigurationError(
                 f"unknown routing {self.routing!r}; known: {ROUTING_NAMES}"
+            )
+        if isinstance(self.cooperation, Mapping):
+            # JSON round trips decompose the nested dataclass into a dict.
+            self.cooperation = CooperationConfig(**self.cooperation)
+        if not isinstance(self.cooperation, CooperationConfig):
+            raise ConfigurationError(
+                f"cooperation must be a CooperationConfig, got "
+                f"{type(self.cooperation).__name__}"
             )
         if self.hash_vnodes < 1:
             raise ConfigurationError(
@@ -162,5 +257,23 @@ class TopologyConfig:
         return int(self.cache_capacity_overrides.get(node_id, default))
 
     def build_ring(self) -> HashRing:
-        """The item-hash ring for this topology (build once per simulation)."""
+        """The consistent-hash ring for this topology.
+
+        Simulations build it once and share it between ``item-hash``
+        routing and cooperation probes; :meth:`owner_of` is the convenient
+        one-off lookup for callers outside a simulation.
+        """
         return HashRing(self.num_proxies, vnodes=self.hash_vnodes)
+
+    def owner_of(self, item: Hashable) -> int:
+        """The ring owner of ``item`` — the proxy cooperation would probe.
+
+        Lazily builds (and memoises) the ring, so repeated lookups cost a
+        bisect, not a ring rebuild.  The memo is not a dataclass field:
+        ``dataclasses.replace`` / pickling / ``scenario_hash`` all see only
+        the declarative knobs.
+        """
+        ring = self.__dict__.get("_owner_ring")
+        if ring is None:
+            ring = self.__dict__["_owner_ring"] = self.build_ring()
+        return ring.node_of(item)

@@ -67,11 +67,14 @@ class SimulationConfig:
         predictors and the ``true-distribution`` oracle need.
     topology:
         Proxy-tier shape (:class:`~repro.network.topology.TopologyConfig`).
-        The default — one proxy, client-affinity routing — reproduces the
-        paper's single-proxy system bit-identically; more proxies shard
-        clients (or, with ``item-hash`` routing, the catalogue) across
-        per-node uplinks.  ``bandwidth`` / ``cache_capacity`` above become
-        the per-node defaults the topology may override per proxy.
+        The default — one proxy, client-affinity routing, no cooperation —
+        reproduces the paper's single-proxy system bit-identically; more
+        proxies shard clients (or, with ``item-hash`` routing, the
+        catalogue) across per-node uplinks, and the topology's
+        :class:`~repro.network.topology.CooperationConfig` lets a miss be
+        served from a peer proxy's cache over an inter-proxy link.
+        ``bandwidth`` / ``cache_capacity`` above become the per-node
+        defaults the topology may override per proxy.
     """
 
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)

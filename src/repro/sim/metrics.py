@@ -48,10 +48,31 @@ class SimulationMetrics:
     prefetches_issued: int
     prefetches_per_request: float
     tagged_hits: int = 0
+    #: cooperative caching (PR 5): probes this shard's clients sent on
+    #: local misses, and how many were answered from a peer's cache.
+    #: Plain counts (zero without cooperation) so shards aggregate exactly.
+    remote_probes: int = 0
+    remote_hits: int = 0
+    #: mean sojourn time of peer-link transfers (the remote analogue of
+    #: ``mean_demand_retrieval_time``); 0.0 — not NaN — when there were
+    #: none, so metric comparisons stay exact in cooperation-free runs.
+    mean_remote_retrieval_time: float = 0.0
 
     @property
     def hit_ratio(self) -> float:
         return self.hits / self.requests if self.requests else float("nan")
+
+    @property
+    def remote_hit_rate(self) -> float:
+        """Fraction of all requests served from a *peer* proxy's cache."""
+        return self.remote_hits / self.requests if self.requests else float("nan")
+
+    @property
+    def remote_probe_hit_ratio(self) -> float:
+        """Fraction of probes that found the item at a peer (probe yield)."""
+        if not self.remote_probes:
+            return float("nan")
+        return self.remote_hits / self.remote_probes
 
     @property
     def fault_ratio(self) -> float:
@@ -78,10 +99,13 @@ class MetricsCollector:
         self.access_time = Tally("access-time")
         self.demand_retrieval = Tally("demand-retrieval")
         self.prefetch_retrieval = Tally("prefetch-retrieval")
+        self.remote_retrieval = Tally("remote-retrieval")
         self._requests = 0
         self._hits = 0
         self._tagged_hits = 0
         self._prefetches = 0
+        self._remote_probes = 0
+        self._remote_hits = 0
         self._measuring = self.warmup_time <= 0.0
         self._t_start: Optional[float] = 0.0 if self._measuring else None
         self._busy_start = 0.0
@@ -143,15 +167,35 @@ class MetricsCollector:
         retrieval_time: float,
         *,
         prefetch: bool = False,
+        remote: bool = False,
         issued_at: Optional[float] = None,
     ) -> None:
-        """A completed fetch's sojourn time (demand or prefetch)."""
+        """A completed fetch's sojourn time (demand, prefetch or peer).
+
+        ``remote=True`` marks a cooperative peer transfer: it still counts
+        toward the per-request retrieval accumulator (it is retrieval work
+        a user waited on) but is tallied separately so the demand/prefetch
+        means keep their origin-uplink meaning.
+        """
         if not self._in_window(issued_at):
             return
         self._retrieval_time_accum += retrieval_time
-        (self.prefetch_retrieval if prefetch else self.demand_retrieval).record(
-            retrieval_time
-        )
+        if remote:
+            self.remote_retrieval.record(retrieval_time)
+        elif prefetch:
+            self.prefetch_retrieval.record(retrieval_time)
+        else:
+            self.demand_retrieval.record(retrieval_time)
+
+    def record_remote_probe(
+        self, *, hit: bool, issued_at: Optional[float] = None
+    ) -> None:
+        """A cooperative peer probe resolved (found the item or not)."""
+        if not self._in_window(issued_at):
+            return
+        self._remote_probes += 1
+        if hit:
+            self._remote_hits += 1
 
     # ------------------------------------------------------------------
     def finalize(self) -> SimulationMetrics:
@@ -172,6 +216,13 @@ class MetricsCollector:
             busy=busy,
             elapsed=elapsed,
             links=1,
+            remote_probes=self._remote_probes,
+            remote_hits=self._remote_hits,
+            remote_mean=(
+                self.remote_retrieval.mean
+                if self.remote_retrieval.count
+                else 0.0
+            ),
         )
 
     @staticmethod
@@ -188,6 +239,9 @@ class MetricsCollector:
         busy: float,
         elapsed: float,
         links: int,
+        remote_probes: int = 0,
+        remote_hits: int = 0,
+        remote_mean: float = 0.0,
     ) -> SimulationMetrics:
         return SimulationMetrics(
             duration=elapsed,
@@ -205,6 +259,9 @@ class MetricsCollector:
                 prefetches / requests if requests else float("nan")
             ),
             tagged_hits=tagged_hits,
+            remote_probes=remote_probes,
+            remote_hits=remote_hits,
+            mean_remote_retrieval_time=remote_mean,
         )
 
 
@@ -234,7 +291,9 @@ def finalize_aggregate(collectors: Sequence[MetricsCollector]) -> SimulationMetr
     access = Tally("access-time")
     demand = Tally("demand-retrieval")
     prefetch = Tally("prefetch-retrieval")
+    remote = Tally("remote-retrieval")
     requests = hits = tagged = prefetches = 0
+    remote_probes = remote_hits = 0
     retrieval_accum = 0.0
     for c in collectors:
         c.link.server._advance()
@@ -242,10 +301,13 @@ def finalize_aggregate(collectors: Sequence[MetricsCollector]) -> SimulationMetr
         access = access.merge(c.access_time)
         demand = demand.merge(c.demand_retrieval)
         prefetch = prefetch.merge(c.prefetch_retrieval)
+        remote = remote.merge(c.remote_retrieval)
         requests += c._requests
         hits += c._hits
         tagged += c._tagged_hits
         prefetches += c._prefetches
+        remote_probes += c._remote_probes
+        remote_hits += c._remote_hits
         retrieval_accum += c._retrieval_time_accum
     return MetricsCollector._build(
         requests=requests,
@@ -259,4 +321,7 @@ def finalize_aggregate(collectors: Sequence[MetricsCollector]) -> SimulationMetr
         busy=busy,
         elapsed=elapsed,
         links=len(collectors),
+        remote_probes=remote_probes,
+        remote_hits=remote_hits,
+        remote_mean=remote.mean if remote.count else 0.0,
     )

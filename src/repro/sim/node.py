@@ -14,13 +14,25 @@ demand-fetching, duplicating the transfer, and a second demand request for
 a mid-flight item paid for its own copy.  The table tracks **both** kinds
 through one pending map:
 
-* a request that misses on a pending item — demand- *or* prefetch-fetched —
-  *joins* the in-flight transfer instead of issuing another;
+* a request that misses on a pending item — demand-, prefetch- *or*
+  remote-fetched — *joins* the in-flight transfer instead of issuing
+  another;
 * the controller's planner sees the table, so an item being demand-fetched
   is never selected for prefetch (and a scripted/buggy policy that selects
   one anyway is skipped by the node, not duplicated);
 * completion wakes every joiner; failure wakes them too so they can fall
   back to a demand fetch (the PR-3 recovery protocol, now in one place).
+
+Cooperative caching (PR 5) adds a third fetch kind, ``remote``: with
+:class:`~repro.network.topology.CooperationConfig` enabled, a local miss
+first probes the item's consistent-hash ring owner (or every peer in
+``broadcast`` mode) and, on a remote hit, streams the item over the
+serving proxy's *peer link* instead of the origin uplink.  The whole probe
+→ transfer (or probe → fallback-to-origin) sequence lives under one
+``remote`` pending entry registered *before* the probe departs, so a
+concurrent request arriving mid-probe joins the in-flight resolution
+exactly like it would join a demand fetch — the probe can never race a
+duplicate transfer into existence.
 
 One table serves one client: caches are per client, so joining across
 clients would hand a requester a transfer that fills someone else's cache.
@@ -49,13 +61,18 @@ class FetchTableStats:
 
     demand_registered: int = 0
     prefetch_registered: int = 0
+    remote_registered: int = 0
     joins: int = 0
     completions: int = 0
     failures: int = 0
 
     @property
     def registered(self) -> int:
-        return self.demand_registered + self.prefetch_registered
+        return (
+            self.demand_registered
+            + self.prefetch_registered
+            + self.remote_registered
+        )
 
     @property
     def resolved(self) -> int:
@@ -69,7 +86,7 @@ class PendingFetch:
 
     def __init__(self, item: Hashable, kind: str, event: Event) -> None:
         self.item = item
-        self.kind = kind  # "demand" | "prefetch"
+        self.kind = kind  # "demand" | "prefetch" | "remote"
         self.event = event
         self.joiners = 0
 
@@ -81,7 +98,7 @@ class PendingFetch:
 
 
 class FetchTable:
-    """Pending fetches — demand *and* prefetch — of one client.
+    """Pending fetches — demand, prefetch *and* remote — of one client.
 
     Invariants (pinned by the fuzz test):
 
@@ -91,6 +108,11 @@ class FetchTable:
       failure fails it *iff* someone is waiting (an untriggered orphan
       would suspend joiners forever; an unwaited failure would crash the
       run via the environment's unhandled-failure check).
+
+    The invariants are kind-blind: a ``remote`` entry (cooperative probe +
+    peer transfer, or its origin fallback) joins, completes and fails
+    exactly like the other two kinds, so everything the planner and the
+    request path know about pending items extends to cooperation for free.
     """
 
     def __init__(self, env) -> None:
@@ -118,7 +140,7 @@ class FetchTable:
     # ------------------------------------------------------------------
     def register(self, item: Hashable, kind: str) -> PendingFetch:
         """Open a pending entry for a fetch the caller is about to issue."""
-        if kind not in ("demand", "prefetch"):
+        if kind not in ("demand", "prefetch", "remote"):
             raise SimulationError(f"unknown fetch kind {kind!r}")
         if item in self._pending:
             raise SimulationError(
@@ -128,8 +150,10 @@ class FetchTable:
         self._pending[item] = entry
         if kind == "demand":
             self.stats.demand_registered += 1
-        else:
+        elif kind == "prefetch":
             self.stats.prefetch_registered += 1
+        else:
+            self.stats.remote_registered += 1
         return entry
 
     def join(self, item: Hashable) -> Event:
@@ -167,10 +191,26 @@ class ProxyNode:
     """One proxy of the tier: uplink + origin view + homed clients + shard.
 
     The node owns the *mechanics* of its clients' request path (the
-    generator processes); the :class:`~repro.sim.simulation.Simulation`
-    orchestrator owns the topology — which node exists, which clients home
-    where, and which node's link carries a given fetch
-    (:meth:`Simulation.route`).
+    generator processes built by :meth:`request_handler`); the
+    :class:`~repro.sim.simulation.Simulation` orchestrator owns the
+    topology — which nodes exist, which clients home where, and which
+    node's link carries a given fetch (``Simulation.route``).
+
+    Per node, the orchestrator wires up:
+
+    * ``link`` — the origin uplink (:class:`~repro.network.link.SharedLink`
+      at this node's configured bandwidth, the paper's M/G/1-PS server);
+    * ``peer_link`` — the inter-proxy transfer link, present only when the
+      topology's :class:`~repro.network.topology.CooperationConfig` is
+      enabled; it carries the remote cache hits *this* node serves to
+      peers, so peer traffic contends among itself but never with the
+      origin uplink;
+    * ``origin`` — a view onto the shared catalogue bound to this node's
+      uplink;
+    * ``collector`` — this node's metrics shard (requests of homed
+      clients, including their remote-probe outcomes; utilisation of this
+      node's uplink);
+    * per homed client: cache, controller and a :class:`FetchTable`.
     """
 
     def __init__(
@@ -187,6 +227,9 @@ class ProxyNode:
         self.bandwidth = float(bandwidth)
         self.cache_capacity = int(cache_capacity)
         self.link = SharedLink(self.env, bandwidth=self.bandwidth)
+        #: inter-proxy transfer link (set by the orchestrator iff the
+        #: topology's cooperation is enabled; None otherwise)
+        self.peer_link: SharedLink | None = None
         #: this node's shard of the metrics (requests of homed clients;
         #: utilisation of this node's link)
         self.collector = MetricsCollector(
@@ -211,19 +254,55 @@ class ProxyNode:
         return table
 
     # ------------------------------------------------------------------
+    # Cooperative caching: what this node can serve to peers
+    # ------------------------------------------------------------------
+    def holds(self, item: Hashable) -> bool:
+        """True when any cache homed at this node currently holds ``item``.
+
+        A pure membership probe — no stats, no recency update, no tag
+        change on the serving cache (``Cache.__contains__`` is
+        side-effect-free by contract), so probing peers can never perturb
+        their eviction behaviour.
+        """
+        return any(item in cache for cache in self.caches)
+
+    def peer_serve(self, item: Hashable, *, client: int) -> Event:
+        """Stream ``item`` from this node's caches over its peer link.
+
+        The caller (a peer proxy's request path) has already confirmed
+        :meth:`holds`; the transfer itself is a ``peer``-kind fetch on
+        this node's ``peer_link``, so concurrent remote hits served by
+        this node share its peer bandwidth processor-sharing style.
+        """
+        if self.peer_link is None:
+            raise SimulationError(
+                f"node {self.node_id} has no peer link (cooperation disabled)"
+            )
+        return self.peer_link.fetch(
+            item=item,
+            size=self.sim.origin.size_of(item),
+            kind="peer",
+            client=client,
+        )
+
+    # ------------------------------------------------------------------
     # The per-client request path (shared by both arrival drivers)
     # ------------------------------------------------------------------
     def request_handler(self, client_id: int, controller):
         """Build ``handle_request(item)`` for one homed client.
 
         The returned process function is closed over the client's
-        :class:`FetchTable`; all fetches go through ``sim.fetch`` so the
-        topology's routing decides which node's link carries them.
+        :class:`FetchTable`; all origin fetches go through ``sim.fetch`` so
+        the topology's routing decides which node's link carries them.
+        With cooperation enabled, a local miss first runs the remote-probe
+        path (see :meth:`Simulation.probe_targets`); without it, the miss
+        path is byte-for-byte the PR-4 demand path.
         """
         sim = self.sim
         env = self.env
         collector = self.collector
         table = self.fetch_tables[client_id]
+        coop = sim.coop  # None unless cooperation is active for this tier
 
         def prefetch_process(item: Hashable):
             try:
@@ -247,10 +326,8 @@ class ProxyNode:
             )
             table.complete(item, result)
 
-        def demand_fetch(item: Hashable):
-            """Issue a demand fetch with a registered pending entry, so
-            concurrent requests for the same item join this transfer."""
-            table.register(item, "demand")
+        def origin_demand(item: Hashable):
+            """Fetch from the origin into an already-registered entry."""
             try:
                 result = yield sim.fetch(item, kind="demand", client=client_id)
             except Exception as exc:
@@ -263,6 +340,55 @@ class ProxyNode:
             )
             collector.record_retrieval(
                 result.retrieval_time, issued_at=result.request.issued_at
+            )
+            table.complete(item, result)
+
+        def demand_fetch(item: Hashable):
+            """Issue a demand fetch with a registered pending entry, so
+            concurrent requests for the same item join this transfer."""
+            table.register(item, "demand")
+            yield from origin_demand(item)
+
+        def remote_fetch(item: Hashable, targets):
+            """Cooperative miss path: probe peers, serve remote hit or fall
+            back to the origin — all under ONE ``remote`` pending entry.
+
+            The entry is registered *before* the probe departs, so a
+            concurrent request arriving mid-probe joins this resolution
+            (whatever it turns out to be) instead of racing a duplicate
+            probe or transfer.  Peer caches are consulted when the probe
+            *arrives* (after ``probe_latency``), not when it is sent —
+            a holder that evicts mid-flight is a probe miss.
+            """
+            t_probe = env.now
+            table.register(item, "remote")
+            yield env.timeout(coop.probe_latency)
+            server = None
+            for node in targets:
+                if node.holds(item):
+                    server = node
+                    break
+            if server is None:
+                collector.record_remote_probe(hit=False, issued_at=t_probe)
+                yield from origin_demand(item)
+                return
+            collector.record_remote_probe(hit=True, issued_at=t_probe)
+            try:
+                result = yield server.peer_serve(item, client=client_id)
+            except Exception as exc:
+                table.fail(item, exc)
+                raise
+            if coop.admit_remote_hits:
+                # Admission: the requester caches the peer-served copy,
+                # tagged like a demand fetch (it served a real request).
+                controller.on_fetch_complete(
+                    item, now=env.now, size=result.request.size,
+                    prefetched=False,
+                )
+            collector.record_retrieval(
+                result.retrieval_time,
+                remote=True,
+                issued_at=result.request.issued_at,
             )
             table.complete(item, result)
 
@@ -296,7 +422,15 @@ class ProxyNode:
                     hit=False, access_time=env.now - t0, issued_at=t0
                 )
             else:
-                yield from demand_fetch(item)
+                targets = (
+                    sim.probe_targets(self, item) if coop is not None else ()
+                )
+                if targets:
+                    yield from remote_fetch(item, targets)
+                else:
+                    # No cooperation, or no peer to ask (owner is this
+                    # node): the PR-4 demand path, unchanged.
+                    yield from demand_fetch(item)
                 collector.record_request(
                     hit=False, access_time=env.now - t0, issued_at=t0
                 )

@@ -95,6 +95,16 @@ def _aggregate_simulation_outputs(
     extra = {
         "prefetch_traffic_share": [o.prefetch_traffic_share for o in outputs],
         "prefetch_accuracy": [_mean_accuracy(o) for o in outputs],
+        # cooperative caching (all zero when cooperation is off; the
+        # probe yield is forced to 0.0 — not NaN — with no probes, so
+        # replication arrays stay comparable elementwise)
+        "remote_hit_rate": [o.metrics.remote_hit_rate for o in outputs],
+        "remote_probe_hit_ratio": [
+            o.metrics.remote_probe_hit_ratio if o.metrics.remote_probes else 0.0
+            for o in outputs
+        ],
+        "peer_bytes": [o.peer_bytes for o in outputs],
+        "peer_traffic_share": [o.peer_traffic_share for o in outputs],
     }
     return _collect([o.metrics for o in outputs], _SIM_FIELDS, extra)
 

@@ -20,11 +20,15 @@ Request path (per client, on its home node):
    :mod:`repro.workload.replay`): the arrival *driver* is swapped, the
    request path below is shared.
 2. Cache lookup (§4 tag discipline applied) → hit costs zero access time.
-3. On a miss: if the item is already being fetched — demand *or* prefetch,
-   the node's unified :class:`~repro.sim.node.FetchTable` tracks both —
-   *join* the pending fetch (access time = remaining transfer time); a
-   joined fetch that fails mid-flight wakes the joiner, which falls back
-   to a demand fetch.  Otherwise demand-fetch through the routed link.
+3. On a miss: if the item is already being fetched — demand, prefetch *or*
+   remote, the node's unified :class:`~repro.sim.node.FetchTable` tracks
+   all three — *join* the pending fetch (access time = remaining transfer
+   time); a joined fetch that fails mid-flight wakes the joiner, which
+   falls back to a demand fetch.  Otherwise, with cooperation enabled
+   (:class:`~repro.network.topology.CooperationConfig`), probe the item's
+   ring owner (or every peer in ``broadcast`` mode) and serve a remote hit
+   over the serving node's peer link; on a probe miss — or without
+   cooperation — demand-fetch through the routed link.
 4. After the request, the controller plans prefetches; the planner sees
    the fetch table, so items already being fetched (either kind) are never
    selected — and a selection that slips through anyway is skipped, not
@@ -46,6 +50,7 @@ from repro.des.environment import Environment
 from repro.des.rng import RandomStreams
 from repro.errors import ConfigurationError, SimulationError
 from repro.estimation.utilization import ThresholdEstimator
+from repro.network.link import SharedLink
 from repro.network.server import OriginServer
 from repro.predictors import (
     DependencyGraphPredictor,
@@ -162,7 +167,13 @@ def _build_policy(
 
 @dataclass(frozen=True)
 class ProxyShardStats:
-    """One proxy's share of a run: its metrics shard + link accounting."""
+    """One proxy's share of a run: its metrics shard + link accounting.
+
+    ``peer_fetches`` / ``peer_bytes`` count the cooperative transfers this
+    node *served* over its peer link (zero without cooperation); the
+    remote-probe outcomes of this node's own clients live on its
+    ``metrics`` shard (``remote_probes`` / ``remote_hits``).
+    """
 
     node_id: int
     clients: tuple[int, ...]
@@ -172,15 +183,18 @@ class ProxyShardStats:
     link_prefetch_fetches: int
     link_prefetch_bytes: float
     link_demand_bytes: float
+    peer_fetches: int = 0
+    peer_bytes: float = 0.0
 
 
 @dataclass(frozen=True)
 class SimulationOutput:
     """Metrics plus component-level statistics of one full-system run.
 
-    ``metrics`` and the ``link_*`` totals aggregate the whole proxy tier
-    exactly (single-proxy runs: the one node's values, bit-identical to
-    the pre-topology output); ``per_proxy`` carries each node's shard.
+    ``metrics`` and the ``link_*``/``peer_*`` totals aggregate the whole
+    proxy tier exactly (single-proxy runs: the one node's values,
+    bit-identical to the pre-topology output); ``per_proxy`` carries each
+    node's shard.
     """
 
     metrics: SimulationMetrics
@@ -191,11 +205,19 @@ class SimulationOutput:
     link_prefetch_bytes: float
     link_demand_bytes: float
     per_proxy: tuple[ProxyShardStats, ...] = ()
+    peer_fetches: int = 0
+    peer_bytes: float = 0.0
 
     @property
     def prefetch_traffic_share(self) -> float:
         total = self.link_demand_bytes + self.link_prefetch_bytes
         return self.link_prefetch_bytes / total if total > 0 else 0.0
+
+    @property
+    def peer_traffic_share(self) -> float:
+        """Fraction of all transferred bytes carried by peer links."""
+        total = self.link_demand_bytes + self.link_prefetch_bytes + self.peer_bytes
+        return self.peer_bytes / total if total > 0 else 0.0
 
 
 class Simulation:
@@ -297,6 +319,10 @@ class Simulation:
         """Resolve ``route`` once: per-fetch dispatch must stay cheap."""
         topo = self.config.topology
         nodes = self.nodes
+        #: the tier's consistent-hash ring — built once and shared by
+        #: item-hash routing and cooperation probes, so the probe target
+        #: and the item-hash route always agree; None until someone needs it
+        self.ring = None
         if len(nodes) == 1:
             only = nodes[0]
             self.route = lambda client, item: only
@@ -304,7 +330,7 @@ class Simulation:
             count = len(nodes)
             self.route = lambda client, item: nodes[client % count]
         else:  # item-hash catalogue sharding
-            ring = topo.build_ring()
+            self.ring = ring = topo.build_ring()
             node_of = ring.node_of
             self.route = lambda client, item: nodes[node_of(item)]
         # Load estimate fed to prefetch planners.  Client-affinity (and a
@@ -320,6 +346,67 @@ class Simulation:
             )
         else:
             self.planning_load = lambda node: node.link.offered_load()
+        self._bind_cooperation()
+
+    def _bind_cooperation(self) -> None:
+        """Resolve the cooperative-caching plumbing once per simulation.
+
+        Sets ``self.coop`` (the active
+        :class:`~repro.network.topology.CooperationConfig`, or None when
+        cooperation is off *or* the tier has a single node — cooperation
+        is inter-proxy, a one-node tier has no peers) and
+        ``self.probe_targets``.  With cooperation active, every node also
+        gets its peer link here.
+        """
+        coop = self.config.topology.cooperation
+        nodes = self.nodes
+        if not coop.enabled or len(nodes) == 1:
+            self.coop = None
+            self.probe_targets = lambda node, item: ()
+            return
+        self.coop = coop
+        for node in nodes:
+            node.peer_link = SharedLink(self.env, bandwidth=coop.peer_bandwidth)
+        if self.ring is None:
+            self.ring = self.config.topology.build_ring()
+        node_of = self.ring.node_of
+        if coop.mode == "owner-probe":
+            def probe_targets(node, item):
+                owner = node_of(item)
+                if owner == node.node_id:
+                    # The requester IS the owner: its local caches already
+                    # missed, and cooperation never probes sideways in
+                    # owner-probe mode — straight to the origin.
+                    return ()
+                return (nodes[owner],)
+        else:
+            # Broadcast: owner first (if it is a peer), then every other
+            # peer in id order.  The ordering depends only on (requester,
+            # owner) — P×P possibilities — so precompute the tuples once;
+            # the per-miss hot path is then a ring bisect + table lookup
+            # (same resolve-once discipline as the router binding above).
+            def broadcast_order(home: int, owner: int) -> tuple:
+                ordered = [] if owner == home else [nodes[owner]]
+                ordered.extend(
+                    n for n in nodes
+                    if n.node_id != owner and n.node_id != home
+                )
+                return tuple(ordered)
+
+            order = [
+                [broadcast_order(home, owner) for owner in range(len(nodes))]
+                for home in range(len(nodes))
+            ]
+
+            def probe_targets(node, item):
+                return order[node.node_id][node_of(item)]
+        self.probe_targets = probe_targets
+
+    def probe_targets(self, node, item):  # pragma: no cover - rebound above
+        """Peer nodes a miss of ``node`` on ``item`` should probe, in
+        probe order (ring owner first).  Rebound per mode at build time;
+        this placeholder only documents the contract."""
+        raise SimulationError("probe_targets used before _bind_cooperation")
 
     def fetch(self, item: Hashable, *, kind: str, client: int):
         """Fetch ``item`` through the link of the proxy that serves it."""
@@ -422,6 +509,12 @@ class Simulation:
                 link_prefetch_fetches=node.link.prefetch_fetches,
                 link_prefetch_bytes=node.link.prefetch_bytes,
                 link_demand_bytes=node.link.demand_bytes,
+                peer_fetches=(
+                    node.peer_link.peer_fetches if node.peer_link else 0
+                ),
+                peer_bytes=(
+                    node.peer_link.peer_bytes if node.peer_link else 0.0
+                ),
             )
             for node in self.nodes
         )
@@ -438,6 +531,8 @@ class Simulation:
             link_prefetch_bytes=sum(s.link_prefetch_bytes for s in shards),
             link_demand_bytes=sum(s.link_demand_bytes for s in shards),
             per_proxy=shards,
+            peer_fetches=sum(s.peer_fetches for s in shards),
+            peer_bytes=sum(s.peer_bytes for s in shards),
         )
 
 

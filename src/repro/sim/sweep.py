@@ -78,7 +78,10 @@ __all__ = [
 #: v2: warmup gating moved from completion time to issue time (PR 3).
 #: v3: SimulationOutput grew per-proxy shards; SimulationConfig grew a
 #:     topology; demand fetches joined the unified fetch table (PR 4).
-CACHE_SCHEMA_VERSION = 3
+#: v4: TopologyConfig grew a CooperationConfig (covered by the hash via
+#:     dataclass decomposition); SimulationMetrics grew remote-probe
+#:     counters and SimulationOutput grew peer-link totals (PR 5).
+CACHE_SCHEMA_VERSION = 4
 
 
 # ----------------------------------------------------------------------

@@ -17,6 +17,7 @@ EXPECTED_IDS = {
     "policy-ablation",
     "trace-replay",
     "sharding",
+    "cooperative-caching",
 }
 
 

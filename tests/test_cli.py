@@ -53,6 +53,26 @@ class TestCLI:
             with pytest.raises(SystemExit):
                 parser.parse_args(["sharding", "--proxies", bad])
 
+    def test_cooperation_flag_parses_and_dedupes(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["cooperative-caching", "--cooperation", "none,owner-probe"]
+        )
+        assert args.cooperation == ("none", "owner-probe")
+        args = parser.parse_args(
+            ["cooperative-caching", "--cooperation", "broadcast,broadcast"]
+        )
+        assert args.cooperation == ("broadcast",)
+        for bad in ("telepathy", "", "owner-probe,nope"):
+            with pytest.raises(SystemExit):
+                parser.parse_args(
+                    ["cooperative-caching", "--cooperation", bad]
+                )
+
+    def test_cooperation_flag_warns_on_unaware_experiment(self, capsys):
+        main(["fig1", "--cooperation", "owner-probe", "--no-plots"])
+        assert "--cooperation is only consumed" in capsys.readouterr().err
+
     def test_sweep_flag_default_dir(self):
         from repro.cli import DEFAULT_SWEEP_CACHE
 

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Docs-rot gate: dead-link check + smoke-run of documented examples.
+
+Two checks, both over the repository's markdown surface (top-level
+``*.md`` plus ``docs/**/*.md``):
+
+1. **Dead links** — every relative markdown link / image target must
+   resolve to an existing file or directory (external ``http(s)://``,
+   ``mailto:`` and pure in-page ``#anchor`` links are skipped; a link with
+   an anchor, ``guide.md#traces``, is checked for its file part).
+2. **Documented examples run** — every ``examples/*.py`` script that any
+   markdown file references is executed (with ``PYTHONPATH=src``) and must
+   exit 0.  Scripts nobody documents are reported but not run: the gate
+   protects what the docs promise.
+
+Usage::
+
+    python tools/check_docs.py            # links + run documented examples
+    python tools/check_docs.py --links-only   # fast (used by the test suite)
+
+Exit status 0 when everything passes, 1 otherwise — so CI can gate on it.
+No third-party dependencies: this must run anywhere the repo checks out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: inline markdown links/images: [text](target) / ![alt](target)
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: fenced code blocks (links inside them are code, not navigation)
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+#: references to example scripts anywhere in the text (prose or code)
+_EXAMPLE_RE = re.compile(r"examples/[A-Za-z0-9_]+\.py")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files() -> list[Path]:
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files += sorted((REPO_ROOT / "docs").rglob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_links(files: list[Path]) -> list[str]:
+    """Return human-readable problems for unresolvable relative links."""
+    problems: list[str] = []
+    for md in files:
+        text = _FENCE_RE.sub("", md.read_text(encoding="utf-8"))
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            if target.startswith("#"):  # in-page anchor
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md.relative_to(REPO_ROOT)}: dead link -> {target}"
+                )
+    return problems
+
+
+def documented_examples(files: list[Path]) -> list[Path]:
+    """Example scripts any markdown file references (deduped, sorted)."""
+    referenced: set[str] = set()
+    for md in files:
+        referenced.update(_EXAMPLE_RE.findall(md.read_text(encoding="utf-8")))
+    return sorted(
+        p for name in referenced if (p := REPO_ROOT / name).is_file()
+    )
+
+
+def run_examples(scripts: list[Path]) -> list[str]:
+    """Smoke-run each script; return problems for non-zero exits."""
+    problems: list[str] = []
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    for script in scripts:
+        rel = script.relative_to(REPO_ROOT)
+        print(f"running {rel} ...", flush=True)
+        try:
+            proc = subprocess.run(
+                [sys.executable, str(script)],
+                cwd=REPO_ROOT,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=1200,
+            )
+        except subprocess.TimeoutExpired:
+            # A hung example is a docs problem, not a tooling crash: report
+            # it alongside everything else instead of losing the summary.
+            problems.append(f"{rel}: timed out after 1200s")
+            continue
+        if proc.returncode != 0:
+            tail = "\n".join(proc.stderr.strip().splitlines()[-12:])
+            problems.append(f"{rel}: exit {proc.returncode}\n{tail}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--links-only",
+        action="store_true",
+        help="skip running example scripts (fast dead-link pass)",
+    )
+    args = parser.parse_args(argv)
+
+    files = markdown_files()
+    print(f"checking {len(files)} markdown file(s) for dead links")
+    problems = check_links(files)
+
+    examples = documented_examples(files)
+    undocumented = sorted(
+        set((REPO_ROOT / "examples").glob("*.py")) - set(examples)
+    )
+    for script in undocumented:
+        print(f"note: {script.relative_to(REPO_ROOT)} is not referenced by "
+              f"any markdown file")
+    if not args.links_only:
+        print(f"smoke-running {len(examples)} documented example script(s)")
+        problems += run_examples(examples)
+
+    if problems:
+        print("\nDOCS CHECK FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print("docs check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
