@@ -5,10 +5,18 @@ with pytest-benchmark, and prints the rows/series the paper reports so the
 run log doubles as the reproduction record (EXPERIMENTS.md is built from
 these outputs).
 
+Every benchmark run also writes ``BENCH_<NAME>.json`` (one per bench
+module) into the repo root — the same files CI uploads as artifacts — so
+the in-repo perf trajectory updates from plain local runs too.
+
 Run:  pytest benchmarks/ --benchmark-only -s
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -25,3 +33,37 @@ def run_and_report(benchmark, experiment_id: str, *, fast: bool = True, plots: b
     print()
     print(result.render(plots=plots))
     return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist per-module benchmark stats as BENCH_<NAME>.json in-repo.
+
+    ``--benchmark-json`` only writes where CI points it; this hook writes
+    the same trajectory locally on every benchmark run (and never fails
+    the session — an unwritable checkout just skips the record).
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    root = Path(__file__).resolve().parent.parent
+    by_module: dict[str, list] = {}
+    for bench in bench_session.benchmarks:
+        stem = Path(bench.fullname.split("::")[0]).stem
+        label = stem.removeprefix("test_bench_").upper()
+        try:
+            row = bench.as_dict(include_data=False)
+        except Exception:
+            continue
+        by_module.setdefault(label, []).append(row)
+    for label, rows in sorted(by_module.items()):
+        payload = {
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "benchmarks": rows,
+        }
+        try:
+            (root / f"BENCH_{label}.json").write_text(
+                json.dumps(payload, indent=2, default=str) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            pass

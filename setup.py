@@ -1,14 +1,34 @@
-"""Thin setup.py shim.
+"""Package metadata and legacy-path installs.
 
 The offline environment lacks the ``wheel`` package, so PEP-660 editable
-installs (``pip install -e .``) cannot build an editable wheel.  This shim
-enables the legacy path::
+installs (``pip install -e .``) cannot build an editable wheel.  This
+setup.py enables the legacy path::
 
     pip install -e . --no-build-isolation --no-use-pep517
 
-All metadata lives in pyproject.toml.
+and carries the full metadata (there is no pyproject.toml): runtime code
+needs ``numpy`` everywhere and ``scipy`` in ``repro.analysis`` (Student-t
+confidence intervals since PR 2, ``fsolve`` fallbacks in the Che
+characteristic-time solvers since PR 6).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-speculative-prefetching",
+    version="0.6.0",
+    description=(
+        "Reproduction of 'Effect of Speculative Prefetching on Network "
+        "Load in Distributed Systems' (Tuah, Kumar, Venkatesh; IPDPS 2001)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+        "scipy>=1.10",
+    ],
+    extras_require={
+        "dev": ["pytest>=7", "pytest-benchmark>=4"],
+    },
+)

@@ -1,6 +1,24 @@
-"""Result containers, tables, ASCII plots and statistics for experiments."""
+"""Result containers, tables, ASCII plots, statistics and cache models."""
 
 from repro.analysis.ascii_plot import render_series, render_sweep
+from repro.analysis.cachemodel import (
+    AnalyticPrediction,
+    AnalyticPredictor,
+    PredictionUnsupported,
+    che_characteristic_time,
+    che_characteristic_time_generalized,
+    che_characteristic_time_simplified,
+    che_hit_ratio,
+    che_hit_ratio_generalized,
+    che_hit_ratio_simplified,
+    che_per_content_hit_ratio,
+    che_per_content_hit_ratio_generalized,
+    che_per_content_hit_ratio_simplified,
+    laoutaris_characteristic_time,
+    laoutaris_hit_ratio,
+    optimal_cache_hit_ratio,
+    trace_driven_cache_hit_ratio,
+)
 from repro.analysis.confidence import (
     ConfidenceInterval,
     mean_confidence_interval,
@@ -10,14 +28,30 @@ from repro.analysis.series import Series, SweepResult
 from repro.analysis.tables import format_sweep, format_table, format_value
 
 __all__ = [
+    "AnalyticPrediction",
+    "AnalyticPredictor",
     "ConfidenceInterval",
+    "PredictionUnsupported",
     "Series",
     "SweepResult",
+    "che_characteristic_time",
+    "che_characteristic_time_generalized",
+    "che_characteristic_time_simplified",
+    "che_hit_ratio",
+    "che_hit_ratio_generalized",
+    "che_hit_ratio_simplified",
+    "che_per_content_hit_ratio",
+    "che_per_content_hit_ratio_generalized",
+    "che_per_content_hit_ratio_simplified",
     "format_sweep",
     "format_table",
     "format_value",
+    "laoutaris_characteristic_time",
+    "laoutaris_hit_ratio",
     "mean_confidence_interval",
+    "optimal_cache_hit_ratio",
     "relative_error",
     "render_series",
     "render_sweep",
+    "trace_driven_cache_hit_ratio",
 ]

@@ -128,6 +128,21 @@ def build_parser() -> argparse.ArgumentParser:
             "several; cooperation-aware experiments only)"
         ),
     )
+    parser.add_argument(
+        "--screen",
+        type=float,
+        nargs="?",
+        const=0.25,
+        default=None,
+        metavar="KEEP",
+        help=(
+            "analytic screening budget for screening-aware experiments "
+            "(e.g. 'analytic-screen'): simulate the best KEEP fraction of "
+            "each series (or an absolute per-series count if KEEP >= 1) "
+            "and fill the rest of the grid with Che-approximation "
+            "predictions (default KEEP 0.25)"
+        ),
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--fast",
@@ -212,6 +227,8 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
         experiment.proxy_counts = args.proxies
     if args.cooperation is not None and hasattr(experiment, "cooperation_modes"):
         experiment.cooperation_modes = args.cooperation
+    if args.screen is not None and hasattr(experiment, "screen_keep"):
+        experiment.screen_keep = args.screen
     result = experiment.run(fast=args.fast, jobs=args.jobs)
     report = result.render(plots=not args.no_plots)
     if args.csv_dir is not None:
@@ -260,6 +277,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     warn_if_unconsumed(args.proxies, "proxy_counts", "--proxies", "sharding")
     warn_if_unconsumed(args.trace, "trace_path", "--trace", "trace-replay")
+    warn_if_unconsumed(args.screen, "screen_keep", "--screen", "analytic-screen")
     # --sweep routes every experiment's grids through one session engine
     # with an on-disk result cache; --jobs sizes its shared pool (the
     # engine inherits the session default set by Experiment.run).

@@ -6,6 +6,12 @@ relative errors.  Also quantifies the *batch-arrival caveat*: the paper's
 analysis assumes the effective job stream is Poisson; when prefetches are
 issued at the instant of their triggering request (as a real system would),
 sojourn times exceed eq. (2) by a measurable margin.
+
+Since PR 6 the report also carries the *Che model-error table*: the
+:class:`~repro.analysis.cachemodel.AnalyticPredictor` that powers analytic
+screening is cross-validated against full-system DES runs at a spread of
+(capacity, zipf) cache points, so the tolerance the screening docs quote is
+measured here, not assumed.
 """
 
 from __future__ import annotations
@@ -14,11 +20,14 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.analysis.cachemodel import AnalyticPredictor
 from repro.core.parameters import SystemParameters
 from repro.experiments.base import Experiment, ExperimentResult, register
+from repro.sim.config import SimulationConfig
 from repro.sim.mirror import MirrorConfig
 from repro.sim.sweep import SweepPoint
 from repro.sim.validate import mirror_vs_theory
+from repro.workload.sessions import WorkloadSpec
 
 __all__ = ["SimVsAnalyticExperiment"]
 
@@ -148,5 +157,58 @@ class SimVsAnalyticExperiment(Experiment):
             "the paper's M/G/1 treatment assumes independent Poisson job "
             "arrivals; physically-batched prefetches inflate access times by "
             "the factor shown (our measured caveat)"
+        )
+
+        # --- Che model-error table (analytic-screening predictor) -------
+        # The same facade AnalyticScreen uses to skip simulations, checked
+        # against full-system DES runs at IRM prefetch-free cache points.
+        che_duration = 60.0 if fast else 240.0
+        che_warmup = 15.0 if fast else 60.0
+        che_reps = 2 if fast else 4
+        cache_points = []
+        for capacity, exponent in [
+            (10, 0.8), (50, 0.8), (10, 1.2), (50, 1.2), (150, 1.0),
+        ]:
+            config = SimulationConfig(
+                workload=WorkloadSpec(
+                    num_clients=4, catalog_size=500, zipf_exponent=exponent
+                ),
+                bandwidth=80.0, cache_capacity=capacity,
+                policy="none", duration=che_duration, warmup=che_warmup,
+                seed=23,
+            )
+            cache_points.append(
+                SweepPoint(key=f"che/C{capacity}/a{exponent:g}", config=config,
+                           replications=che_reps,
+                           meta={"capacity": capacity, "zipf": exponent})
+            )
+        che_grid = self.engine.run(cache_points)
+        predictor = AnalyticPredictor()
+        che_rows = []
+        worst_che = 0.0
+        for pt in cache_points:
+            pred = predictor.predict(pt.config)
+            sim_h = che_grid.mean(pt.key, "hit_ratio")
+            sim_t = che_grid.mean(pt.key, "mean_access_time")
+            err_h = abs(pred.hit_ratio - sim_h) / max(sim_h, 1e-12)
+            err_t = abs(pred.mean_access_time - sim_t) / max(sim_t, 1e-12)
+            worst_che = max(worst_che, err_h, err_t)
+            che_rows.append(
+                [pt.key, pt.meta["capacity"], pt.meta["zipf"],
+                 pred.hit_ratio, sim_h, err_h,
+                 pred.mean_access_time, sim_t, err_t]
+            )
+        result.tables.append(
+            (
+                "Che predictor vs DES (model error behind analytic screening)",
+                ["point", "C", "zipf", "h che", "h sim", "h rel err",
+                 "t che", "t sim", "t rel err"],
+                che_rows,
+            )
+        )
+        result.notes.append(
+            f"Che-approximation worst relative error across cache points: "
+            f"{worst_che:.3%} (IRM, prefetch-free; this is the tolerance the "
+            "analytic-screen fill inherits)"
         )
         return result

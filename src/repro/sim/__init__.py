@@ -18,6 +18,7 @@ from repro.sim.simulation import (
     run_simulation,
 )
 from repro.sim.sweep import (
+    AnalyticScreen,
     SweepExecutor,
     SweepPoint,
     SweepRunResult,
@@ -27,6 +28,7 @@ from repro.sim.sweep import (
 from repro.sim.validate import TheoryComparison, mirror_vs_theory
 
 __all__ = [
+    "AnalyticScreen",
     "FetchTable",
     "MetricsCollector",
     "MirrorConfig",

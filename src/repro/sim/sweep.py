@@ -26,6 +26,16 @@ point had changed.  :class:`SweepExecutor` fixes both:
   so the closed-form experiments (figures 1–3, model-compare) share the
   uniform grid entry point (their rows are micro-cost, so they evaluate
   in-process — a pool would cost more than the work).
+* **Analytic screening.**  ``run(points, screen=AnalyticScreen(...))``
+  first evaluates *every* point through the millisecond-cost
+  Che-approximation predictor (:mod:`repro.analysis.cachemodel`), then
+  simulates only the interesting frontier — the best-k predicted points
+  per series, the series endpoints, and a tolerance band around predicted
+  series crossovers — and fills the rest of the grid with the analytic
+  predictions.  Every point in the returned :class:`SweepRunResult`
+  carries provenance (``simulated`` / ``cached`` / ``analytic``), and the
+  simulated subset is **bit-identical** to the same points in an
+  unscreened run (same per-point seed schedules, same cache keys).
 
 Points whose base seed is left open are assigned one deterministically via
 ``numpy.random.SeedSequence`` spawning from the executor's ``seed``, so a
@@ -65,6 +75,7 @@ from repro.sim.runner import (
 from repro.sim.simulation import run_simulation
 
 __all__ = [
+    "AnalyticScreen",
     "SweepPoint",
     "SweepRunResult",
     "SweepExecutor",
@@ -81,7 +92,11 @@ __all__ = [
 #: v4: TopologyConfig grew a CooperationConfig (covered by the hash via
 #:     dataclass decomposition); SimulationMetrics grew remote-probe
 #:     counters and SimulationOutput grew peer-link totals (PR 5).
-CACHE_SCHEMA_VERSION = 4
+#: v5: analytic screening (PR 6): SweepRunResult grew provenance; the
+#:     bump guarantees screened sessions can never read (or be read as)
+#:     pre-screening cache entries, so analytic points never alias cached
+#:     full runs.
+CACHE_SCHEMA_VERSION = 5
 
 
 # ----------------------------------------------------------------------
@@ -209,6 +224,164 @@ def _aggregate(point: SweepPoint, runs: list) -> ReplicatedResult:
 
 
 # ----------------------------------------------------------------------
+# Analytic screening
+# ----------------------------------------------------------------------
+@dataclass
+class AnalyticScreen:
+    """Screening policy: which grid points earn a simulation.
+
+    The screen predicts every point with the Che-approximation predictor
+    (:class:`repro.analysis.cachemodel.AnalyticPredictor`, ~1 ms/point)
+    and simulates only the *interesting frontier*:
+
+    * the best ``keep`` points of each series by predicted ``metric``
+      (``keep < 1`` → fraction of the series, ``keep ≥ 1`` → count);
+    * each series' first and last point along the ``x`` axis (anchors, so
+      interpolation against the analytic fill is always bracketed);
+    * a relative ``band`` around each predicted series *crossover*
+      (adjacent x's where the best-ranked series flips): every point
+      within ``band`` of the best prediction in the two flanking grid
+      columns simulates — exactly where the closed forms disagree least
+      and ranking errors matter most.
+
+    Points the predictor cannot model (trace-driven configs, unsupported
+    types) are always simulated.  Series are formed by the ``by`` meta
+    key (``None`` → one series); points are ordered by the ``x`` meta key
+    (missing → grid order).
+
+    Attributes
+    ----------
+    keep:
+        Per-series simulation budget (fraction if < 1, else count).
+    metric:
+        Predicted metric to rank by (lower is better), default
+        ``mean_access_time``.
+    x, by:
+        Meta keys giving each point's axis coordinate / series label
+        (same conventions as :meth:`SweepRunResult.to_sweep`).
+    band:
+        Relative tolerance around the best prediction in crossover-flank
+        columns; ``0`` narrows crossover handling to the two flanking
+        best points only.
+    predictor:
+        The analytic model; swap for ``AnalyticPredictor("laoutaris")``
+        etc.
+    """
+
+    keep: float | int = 0.25
+    metric: str = "mean_access_time"
+    x: str = "x"
+    by: str | None = None
+    band: float = 0.05
+    predictor: Any = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.keep, bool) or (
+            not isinstance(self.keep, (int, float)) or self.keep <= 0
+        ):
+            raise ConfigurationError(
+                f"screen keep must be a positive fraction or count, "
+                f"got {self.keep!r}"
+            )
+        if self.band < 0:
+            raise ConfigurationError(f"screen band must be >= 0, got {self.band!r}")
+        if self.predictor is None:
+            from repro.analysis.cachemodel import AnalyticPredictor
+
+            self.predictor = AnalyticPredictor()
+
+    # -- evaluation -----------------------------------------------------
+    def evaluate(self, points: Sequence[SweepPoint]) -> dict[str, Any]:
+        """Predict every point; unsupported points map to ``None``."""
+        from repro.analysis.cachemodel import PredictionUnsupported
+
+        predictions: dict[str, Any] = {}
+        for pt in points:
+            try:
+                predictions[pt.key] = self.predictor.predict(pt.config)
+            except PredictionUnsupported:
+                predictions[pt.key] = None
+        return predictions
+
+    def select(
+        self, points: Sequence[SweepPoint], predictions: Mapping[str, Any]
+    ) -> set[str]:
+        """The keys that must simulate under this screen."""
+        simulate: set[str] = set()
+
+        def score(pt: SweepPoint) -> float:
+            pred = predictions.get(pt.key)
+            value = getattr(pred, self.metric, np.nan)
+            # NaN/inf predictions (saturated/unstable points) rank as
+            # most interesting: the model is confessing it cannot answer.
+            return float(value) if np.isfinite(value) else -np.inf
+
+        series: dict[str, list[SweepPoint]] = {}
+        for index, pt in enumerate(points):
+            if predictions.get(pt.key) is None:
+                simulate.add(pt.key)  # no model -> must simulate
+                continue
+            if not np.isfinite(score(pt)):
+                # A non-finite prediction (e.g. M/G/1-PS rho >= 1) cannot
+                # fill a grid cell; the point always simulates.
+                simulate.add(pt.key)
+            label = str(pt.meta[self.by]) if self.by in pt.meta else ""
+            series.setdefault(label, []).append(pt)
+        for group in series.values():
+            group.sort(key=lambda pt: float(pt.meta.get(self.x, 0.0)))
+            count = (
+                int(self.keep)
+                if self.keep >= 1
+                else max(1, round(self.keep * len(group)))
+            )
+            ranked = sorted(group, key=score)
+            simulate.update(pt.key for pt in ranked[:count])
+            simulate.add(group[0].key)   # axis anchors
+            simulate.add(group[-1].key)
+        # Crossover detection: the predicted winner at each grid column.
+        by_x: dict[float, list[tuple[str, SweepPoint]]] = {}
+        for label, group in series.items():
+            for pt in group:
+                by_x.setdefault(float(pt.meta.get(self.x, 0.0)), []).append(
+                    (label, pt)
+                )
+        best_series: dict[float, str] = {
+            x_value: min(entries, key=lambda e: score(e[1]))[0]
+            for x_value, entries in by_x.items()
+        }
+        # A predicted crossover (the winning series flips between adjacent
+        # x's) marks both flanking grid columns: simulate everything there
+        # within the relative tolerance band of the best prediction.
+        xs = sorted(best_series)
+        for left, right in zip(xs, xs[1:]):
+            if best_series[left] != best_series[right]:
+                for x_value in (left, right):
+                    entries = by_x[x_value]
+                    best = min(score(pt) for _, pt in entries)
+                    if not np.isfinite(best):
+                        continue  # saturated column: already force-simulated
+                    tol = abs(best) * self.band
+                    simulate.update(
+                        pt.key
+                        for _, pt in entries
+                        if score(pt) <= best + tol
+                    )
+        return simulate
+
+
+def _analytic_result(prediction) -> ReplicatedResult:
+    """Wrap an :class:`AnalyticPrediction` in the ReplicatedResult shape.
+
+    Single-sample arrays keyed like the simulated metrics, so downstream
+    ``mean``/``table``/``to_sweep`` work identically on analytic points
+    (confidence intervals of a closed form are degenerate, as they should
+    be).
+    """
+    samples = prediction.as_samples()
+    return ReplicatedResult(metric_names=tuple(samples), samples=samples)
+
+
+# ----------------------------------------------------------------------
 # Results
 # ----------------------------------------------------------------------
 @dataclass
@@ -218,11 +391,20 @@ class SweepRunResult:
     points: tuple[SweepPoint, ...]
     results: dict[str, ReplicatedResult]
     #: per-point raw outputs (SimulationMetrics / SimulationOutput per
-    #: replication, submission order) — what the result cache stores
+    #: replication, submission order) — what the result cache stores;
+    #: analytic points hold their single AnalyticPrediction instead
     raw: dict[str, list]
     cache_hits: tuple[str, ...] = ()
     cache_misses: tuple[str, ...] = ()
     wall_clock_seconds: float = 0.0
+    #: how each point's numbers were obtained:
+    #: ``simulated`` (fresh DES run), ``cached`` (on-disk result cache) or
+    #: ``analytic`` (Che-approximation prediction under a screen)
+    provenance: dict[str, str] = field(default_factory=dict)
+    #: screen predictions by point key (every predictable point when a
+    #: screen ran, empty otherwise) — keeps the model values inspectable
+    #: even for points that went on to simulate
+    predictions: dict[str, Any] = field(default_factory=dict)
 
     def __getitem__(self, key: str) -> ReplicatedResult:
         return self.results[key]
@@ -235,6 +417,22 @@ class SweepRunResult:
             if pt.key == key:
                 return pt
         raise KeyError(key)
+
+    def simulated_keys(self) -> tuple[str, ...]:
+        """Points backed by a DES run (fresh or cached), grid order."""
+        return tuple(
+            pt.key
+            for pt in self.points
+            if self.provenance.get(pt.key, "simulated") != "analytic"
+        )
+
+    def analytic_keys(self) -> tuple[str, ...]:
+        """Points filled from the analytic predictor, grid order."""
+        return tuple(
+            pt.key
+            for pt in self.points
+            if self.provenance.get(pt.key) == "analytic"
+        )
 
     def mean(self, key: str, metric: str) -> float:
         return self.results[key].mean(metric)
@@ -393,7 +591,11 @@ class SweepExecutor:
         return int(point.config.seed)
 
     def run(
-        self, points: Sequence[SweepPoint], *, spawn_seeds: bool = False
+        self,
+        points: Sequence[SweepPoint],
+        *,
+        spawn_seeds: bool = False,
+        screen: AnalyticScreen | None = None,
     ) -> SweepRunResult:
         """Execute (or fetch from cache) every point and aggregate.
 
@@ -401,6 +603,14 @@ class SweepExecutor:
         through a single pool map; results are reassembled in submission
         order, so aggregates are bit-identical to the per-point serial
         runners for the same seeds.
+
+        With a ``screen``, the grid is first evaluated analytically and
+        only the screen-selected frontier is simulated; the remaining
+        points are filled from the predictions.  Selected points keep
+        their *original grid index* for seed spawning and their usual
+        cache keys, so their metrics are bit-identical to the same points
+        in an unscreened run.  Analytic fills are never written to the
+        result cache.
         """
         started = time.perf_counter()
         points = tuple(points)
@@ -408,8 +618,16 @@ class SweepExecutor:
         if len(set(keys)) != len(keys):
             raise ConfigurationError(f"duplicate sweep point keys in {keys}")
 
+        predictions: dict[str, Any] = {}
+        simulate_keys: set[str] = set(keys)
+        if screen is not None:
+            predictions = screen.evaluate(points)
+            simulate_keys = screen.select(points, predictions)
+
         plans: list[_PointPlan] = []
         for index, pt in enumerate(points):
+            if pt.key not in simulate_keys:
+                continue  # analytic fill; index stays the grid position
             seed0 = self._base_seed(index, pt, spawn_seeds)
             configs = [
                 replace(pt.config, seed=s)
@@ -432,21 +650,33 @@ class SweepExecutor:
 
         results: dict[str, ReplicatedResult] = {}
         raw: dict[str, list] = {}
+        provenance: dict[str, str] = {}
         hits: list[str] = []
         misses: list[str] = []
         cursor = 0
+        simulated: dict[str, tuple[ReplicatedResult, list]] = {}
         for plan in plans:
             if plan.cached is not None:
                 runs = plan.cached
                 hits.append(plan.point.key)
+                provenance[plan.point.key] = "cached"
             else:
                 runs = ran[cursor:cursor + len(plan.configs)]
                 cursor += len(plan.configs)
                 misses.append(plan.point.key)
+                provenance[plan.point.key] = "simulated"
                 if plan.cache_key is not None:
                     self._cache_store(plan.cache_key, plan.point, runs)
-            raw[plan.point.key] = runs
-            results[plan.point.key] = _aggregate(plan.point, runs)
+            simulated[plan.point.key] = (_aggregate(plan.point, runs), runs)
+        # Reassemble in original grid order, analytic fills interleaved.
+        for pt in points:
+            if pt.key in simulated:
+                results[pt.key], raw[pt.key] = simulated[pt.key]
+            else:
+                prediction = predictions[pt.key]
+                results[pt.key] = _analytic_result(prediction)
+                raw[pt.key] = [prediction]
+                provenance[pt.key] = "analytic"
         self.cache_hit_count += len(hits)
         self.cache_miss_count += len(misses)
         return SweepRunResult(
@@ -456,6 +686,8 @@ class SweepExecutor:
             cache_hits=tuple(hits),
             cache_misses=tuple(misses),
             wall_clock_seconds=time.perf_counter() - started,
+            provenance=provenance,
+            predictions=predictions,
         )
 
     def map_grid(self, fn: Callable, items: Sequence) -> list:

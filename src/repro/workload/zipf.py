@@ -97,6 +97,16 @@ class ZipfCatalog:
         For an i.i.d. Zipf stream and a frequency-perfect cache this is the
         probability mass of the top entries — a closed-form ``h′`` used to
         parameterise analytic comparisons.
+
+        .. note::
+           This is the *clairvoyant upper bound* (what LFU converges to),
+           identical to :func:`repro.analysis.cachemodel.
+           optimal_cache_hit_ratio` on this catalogue's pdf.  A real LRU
+           cache hits strictly less: use :func:`repro.analysis.cachemodel.
+           che_hit_ratio_generalized` (the Che approximation, the model
+           behind analytic screening) to predict simulated LRU behaviour.
+           The gap is measured by ``tests/analysis/test_cachemodel.py``'s
+           regression test against a simulated LRU point.
         """
         if cache_items <= 0:
             return 0.0

@@ -18,6 +18,7 @@ EXPECTED_IDS = {
     "trace-replay",
     "sharding",
     "cooperative-caching",
+    "analytic-screen",
 }
 
 

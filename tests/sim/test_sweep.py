@@ -16,6 +16,7 @@ import pytest
 from repro.core.parameters import SystemParameters
 from repro.errors import ConfigurationError
 from repro.sim import (
+    AnalyticScreen,
     MirrorConfig,
     SimulationConfig,
     SweepExecutor,
@@ -272,3 +273,179 @@ class TestSpawnSeeds:
 # Module-level so the pool can pickle it.
 def _square(x):
     return x * x
+
+
+# ----------------------------------------------------------------------
+# Analytic screening
+# ----------------------------------------------------------------------
+def _screen_config(bandwidth, capacity, seed=19) -> SimulationConfig:
+    return SimulationConfig(
+        workload=WorkloadSpec(num_clients=2, request_rate=15.0,
+                              catalog_size=40),
+        bandwidth=bandwidth,
+        cache_capacity=capacity,
+        policy="none",
+        duration=12.0,
+        warmup=3.0,
+        seed=seed,
+    )
+
+
+def _screen_grid(replications=1) -> list[SweepPoint]:
+    return [
+        SweepPoint(
+            key=f"b{bw:g}/C{cap}",
+            config=_screen_config(bw, cap),
+            replications=replications,
+            meta={"x": bw, "cap": cap},
+        )
+        for bw in (25.0, 32.0, 40.0, 48.0, 56.0, 64.0)
+        for cap in (4, 12)
+    ]
+
+
+def _fake_prediction(t):
+    from types import SimpleNamespace
+
+    return SimpleNamespace(mean_access_time=t)
+
+
+class TestAnalyticScreen:
+    def test_simulated_subset_bit_identical_to_unscreened(self):
+        points = _screen_grid()
+        full = SweepExecutor(jobs=1).run(points)
+        screened = SweepExecutor(jobs=1).run(
+            points, screen=AnalyticScreen(keep=0.2, by="cap")
+        )
+        assert screened.analytic_keys()  # the screen actually skipped work
+        for key in screened.simulated_keys():
+            _assert_identical(full[key], screened[key])
+
+    def test_spawned_seeds_keep_grid_indices(self):
+        # With spawn_seeds the per-point seed comes from the point's grid
+        # position; a screened run must spawn the same seeds for the
+        # simulated subset even though earlier points were skipped.
+        points = _screen_grid()
+        full = SweepExecutor(jobs=1, seed=11).run(points, spawn_seeds=True)
+        screened = SweepExecutor(jobs=1, seed=11).run(
+            points, spawn_seeds=True, screen=AnalyticScreen(keep=0.2, by="cap")
+        )
+        assert screened.analytic_keys()
+        for key in screened.simulated_keys():
+            _assert_identical(full[key], screened[key])
+
+    def test_provenance_and_predictions(self):
+        points = _screen_grid()
+        screened = SweepExecutor(jobs=1).run(
+            points, screen=AnalyticScreen(keep=0.2, by="cap")
+        )
+        assert set(screened.provenance) == {pt.key for pt in points}
+        assert set(screened.provenance.values()) <= {"simulated", "analytic"}
+        assert len(screened.predictions) == len(points)
+        for key in screened.analytic_keys():
+            pred = screened.predictions[key]
+            assert screened.raw[key] == [pred]
+            assert screened.mean(key, "hit_ratio") == pytest.approx(
+                pred.hit_ratio
+            )
+            assert screened.mean(key, "mean_access_time") == pytest.approx(
+                pred.mean_access_time
+            )
+        # Without a screen nothing is analytic and predictions stay empty.
+        full = SweepExecutor(jobs=1).run(points[:2])
+        assert full.analytic_keys() == ()
+        assert full.predictions == {}
+        assert set(full.provenance.values()) == {"simulated"}
+
+    def test_screened_run_uses_and_feeds_the_cache(self, tmp_path):
+        points = _screen_grid()
+        screen = AnalyticScreen(keep=0.2, by="cap")
+        first = SweepExecutor(jobs=1, cache_dir=tmp_path).run(
+            points, screen=screen
+        )
+        again = SweepExecutor(jobs=1, cache_dir=tmp_path).run(
+            points, screen=screen
+        )
+        # Second screened run: every simulated point now served from cache.
+        assert set(again.cache_hits) == set(first.simulated_keys())
+        assert all(
+            again.provenance[k] == "cached" for k in again.simulated_keys()
+        )
+        # Analytic fills are never written to (or read from) the cache: a
+        # later full run must simulate them fresh.
+        full = SweepExecutor(jobs=1, cache_dir=tmp_path).run(points)
+        assert set(full.cache_misses) == set(first.analytic_keys())
+        for key in first.analytic_keys():
+            assert full.provenance[key] == "simulated"
+
+    def test_select_keeps_topk_anchors_and_forced_points(self):
+        points = [
+            SweepPoint(key=f"x{i}", config=_screen_config(40.0, 4),
+                       replications=1, meta={"x": float(i)})
+            for i in range(8)
+        ]
+        # Monotone decreasing metric: best point is x7 (also the anchor).
+        predictions = {
+            pt.key: _fake_prediction(1.0 / (i + 1))
+            for i, pt in enumerate(points)
+        }
+        predictions["x3"] = None  # unsupported -> forced
+        screen = AnalyticScreen(keep=1, band=0.0)
+        selected = screen.select(points, predictions)
+        assert {"x0", "x7", "x3"} <= selected  # anchors + forced
+        assert "x5" not in selected and "x1" not in selected
+
+    def test_select_simulates_nonfinite_predictions(self):
+        points = [
+            SweepPoint(key=f"x{i}", config=_screen_config(40.0, 4),
+                       replications=1, meta={"x": float(i)})
+            for i in range(4)
+        ]
+        predictions = {pt.key: _fake_prediction(1.0) for pt in points}
+        predictions["x2"] = _fake_prediction(float("inf"))
+        selected = AnalyticScreen(keep=1, band=0.0).select(points, predictions)
+        assert "x2" in selected
+
+    def test_select_band_around_crossover(self):
+        # Two series whose predicted winner flips between x=1 and x=2:
+        # both flank columns must simulate everything within the band.
+        points = []
+        predictions = {}
+        values = {"A": [1.0, 2.0, 4.0, 8.0], "B": [8.0, 4.0, 2.0, 1.0]}
+        for label, series in values.items():
+            for i, value in enumerate(series):
+                key = f"{label}{i}"
+                points.append(
+                    SweepPoint(key=key, config=_screen_config(40.0, 4),
+                               replications=1,
+                               meta={"x": float(i), "s": label})
+                )
+                predictions[key] = _fake_prediction(value)
+        selected = AnalyticScreen(keep=1, by="s", band=1.5).select(
+            points, predictions
+        )
+        # Winner flips between x=1 (A) and x=2 (B): band 150% covers both
+        # series in both flank columns.
+        assert {"A1", "B1", "A2", "B2"} <= selected
+
+    def test_screen_validation(self):
+        with pytest.raises(ConfigurationError):
+            AnalyticScreen(keep=0)
+        with pytest.raises(ConfigurationError):
+            AnalyticScreen(keep=-2)
+        with pytest.raises(ConfigurationError):
+            AnalyticScreen(band=-0.1)
+
+    def test_mixed_grid_mirror_points_predicted(self):
+        # Mirror configs go through the paper's closed forms; a mixed grid
+        # screens both kinds.
+        points = [
+            SweepPoint(key=f"m{i}", config=_mirror_config(bandwidth=bw),
+                       replications=1, meta={"x": bw})
+            for i, bw in enumerate((50.0, 60.0, 70.0, 80.0, 90.0))
+        ]
+        screened = SweepExecutor(jobs=1).run(
+            points, screen=AnalyticScreen(keep=1)
+        )
+        assert len(screened.predictions) == len(points)
+        assert screened.analytic_keys()
