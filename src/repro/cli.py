@@ -175,6 +175,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="repro-profile.pstats",
+        default=None,
+        metavar="FILE",
+        help=(
+            "profile the experiment run under cProfile: print the top "
+            "functions by cumulative time and dump full pstats data to "
+            "FILE (default 'repro-profile.pstats'; inspect with "
+            "'python -m pstats FILE' or snakeviz)"
+        ),
+    )
+    parser.add_argument(
         "--no-plots", action="store_true", help="suppress ASCII plots"
     )
     parser.add_argument(
@@ -284,9 +297,29 @@ def main(argv: list[str] | None = None) -> int:
     engine = (
         SweepExecutor(cache_dir=Path(args.sweep)) if args.sweep is not None else None
     )
-    with sweep_session(engine):
-        for target in targets:
-            print(_run_one(target, args))
+    if args.profile is not None:
+        # Profile exactly the experiment execution (not argument parsing
+        # or report printing of other runs): everything inside the sweep
+        # session, which is where all simulation time goes.
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            with sweep_session(engine):
+                for target in targets:
+                    print(_run_one(target, args))
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(15)
+            print(f"profile data written to {args.profile}", file=sys.stderr)
+    else:
+        with sweep_session(engine):
+            for target in targets:
+                print(_run_one(target, args))
     if engine is not None:
         print(
             f"sweep cache {args.sweep}: {engine.cache_hit_count} point(s) served "

@@ -28,6 +28,8 @@ class EWMA:
     6.6667
     """
 
+    __slots__ = ("alpha", "_raw", "_updates")
+
     def __init__(self, alpha: float = 0.05) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ParameterError(f"alpha must be in (0, 1], got {alpha!r}")

@@ -54,6 +54,8 @@ class HPrimeEstimator:
     0.5
     """
 
+    __slots__ = ("naccess", "nhit")
+
     def __init__(self) -> None:
         self.naccess = 0
         self.nhit = 0
@@ -113,6 +115,8 @@ class WindowedHPrimeEstimator(HPrimeEstimator):
     popularity drifts.  A sliding window tracks the current regime at the
     cost of higher variance.
     """
+
+    __slots__ = ("window", "_events")
 
     def __init__(self, window: int = 1000) -> None:
         super().__init__()

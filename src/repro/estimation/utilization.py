@@ -37,6 +37,8 @@ class RateEstimator:
     so the estimator tracks non-stationary load.
     """
 
+    __slots__ = ("window", "_times")
+
     def __init__(self, window: int = 512, alpha: float | None = None) -> None:
         # ``alpha`` accepted (and ignored beyond sizing) for call-site
         # compatibility: smaller alpha historically meant longer memory.
@@ -87,6 +89,8 @@ class ThresholdEstimator:
     conservative default (prefetching too early is the failure mode the
     paper warns about).
     """
+
+    __slots__ = ("bandwidth", "cache_size", "h_prime", "request_rate", "item_size")
 
     def __init__(
         self,

@@ -49,7 +49,7 @@ class _PendingUnion:
         return item in self.marks or item in self.table
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessOutcome:
     """What happened to one user request at the cache."""
 
@@ -62,7 +62,7 @@ class AccessOutcome:
     prefetch_saved: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class ControllerStats:
     requests: int = 0
     prefetches_issued: int = 0
@@ -104,7 +104,31 @@ class PrefetchController:
         :class:`~repro.sim.node.FetchTable`).  When attached, the planner's
         in-flight view is the union of the controller's own prefetch marks
         and the table — so items being *demand*-fetched are never selected.
+
+    Notes
+    -----
+    The class is ``__slots__``-ed: at 100k+ controllers (one per client,
+    or per client class) the per-instance ``__dict__`` would dominate
+    bookkeeping memory.  The two behaviour seams the test-suite (and any
+    instrumenting caller) replaces per instance — ``plan`` and
+    ``on_user_access`` — stay assignable: they are properties backed by
+    override slots, so ``controller.plan = fake`` works exactly as it did
+    when instances had a ``__dict__``.
     """
+
+    __slots__ = (
+        "predictor",
+        "policy",
+        "cache",
+        "bandwidth",
+        "estimator",
+        "stats",
+        "_in_flight",
+        "fetch_table",
+        "_pending_view",
+        "_plan_override",
+        "_access_override",
+    )
 
     def __init__(
         self,
@@ -125,6 +149,8 @@ class PrefetchController:
         self._in_flight: set[Hashable] = set()
         self.fetch_table = None
         self._pending_view = self._in_flight
+        self._plan_override = None
+        self._access_override = None
         if fetch_table is not None:
             self.attach_fetch_table(fetch_table)
 
@@ -136,7 +162,7 @@ class PrefetchController:
     # ------------------------------------------------------------------
     # Access path
     # ------------------------------------------------------------------
-    def on_user_access(self, item: Hashable, *, now: float, size: float) -> AccessOutcome:
+    def _on_user_access(self, item: Hashable, *, now: float, size: float) -> AccessOutcome:
         """Process one user request against the cache (no fetching here).
 
         Returns the outcome; on a miss the caller fetches the item and then
@@ -192,7 +218,7 @@ class PrefetchController:
     # ------------------------------------------------------------------
     # Prefetch planning
     # ------------------------------------------------------------------
-    def plan(
+    def _plan(
         self,
         *,
         now: float,
@@ -223,6 +249,33 @@ class PrefetchController:
             self._in_flight.add(item)
         self.stats.prefetches_issued += len(chosen)
         return chosen
+
+    # ------------------------------------------------------------------
+    # Assignable behaviour seams (survive __slots__)
+    # ------------------------------------------------------------------
+    @property
+    def on_user_access(self):
+        """The access entry point — assignable per instance.
+
+        Reading gives the active callable (an instance override if one was
+        assigned, else the bound default); assigning replaces it, exactly
+        like attribute shadowing on a ``__dict__``-ful class.
+        """
+        return self._access_override or self._on_user_access
+
+    @on_user_access.setter
+    def on_user_access(self, fn) -> None:
+        self._access_override = fn
+
+    @property
+    def plan(self):
+        """The planning entry point — assignable per instance (see
+        :attr:`on_user_access`)."""
+        return self._plan_override or self._plan
+
+    @plan.setter
+    def plan(self, fn) -> None:
+        self._plan_override = fn
 
     @property
     def in_flight(self) -> frozenset:

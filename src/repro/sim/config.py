@@ -9,7 +9,12 @@ from repro.errors import ConfigurationError
 from repro.network.topology import TopologyConfig
 from repro.workload.sessions import WorkloadSpec
 
-__all__ = ["SimulationConfig", "PREDICTOR_NAMES", "POLICY_NAMES"]
+__all__ = [
+    "SimulationConfig",
+    "PREDICTOR_NAMES",
+    "POLICY_NAMES",
+    "CLIENT_BACKENDS",
+]
 
 PREDICTOR_NAMES = (
     "markov",
@@ -28,6 +33,8 @@ POLICY_NAMES = (
     "all",
     "adaptive",
 )
+
+CLIENT_BACKENDS = ("per-client", "aggregated")
 
 
 @dataclass
@@ -75,6 +82,18 @@ class SimulationConfig:
         served from a peer proxy's cache over an inter-proxy link.
         ``bandwidth`` / ``cache_capacity`` above become the per-node
         defaults the topology may override per proxy.
+    client_backend:
+        How the population is realised inside the DES.  ``per-client``
+        (default) builds one process/cache/controller per client — the
+        exact per-client system, bit-identical to every earlier PR.
+        ``aggregated`` partitions the population into homogeneous classes
+        (see :mod:`repro.workload.aggregate`) and drives each class with
+        one batched arrival process and one shared controller/cache —
+        statistically indistinguishable at the class level (bit-identical
+        for singleton classes) while scaling a single run to 100k–1M
+        clients.  Incompatible with ``trace_path`` (a recorded trace *is*
+        an exact per-client schedule; aggregating it would discard the
+        recording).
     """
 
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
@@ -92,6 +111,7 @@ class SimulationConfig:
     prediction_limit: int = 16
     trace_path: str | None = None
     topology: TopologyConfig = field(default_factory=TopologyConfig)
+    client_backend: str = "per-client"
 
     def __post_init__(self) -> None:
         if not isinstance(self.topology, TopologyConfig):
@@ -119,6 +139,17 @@ class SimulationConfig:
             raise ConfigurationError("prediction_limit must be >= 1")
         if self.trace_path is not None:
             self.trace_path = str(self.trace_path)  # accept PathLike
+        if self.client_backend not in CLIENT_BACKENDS:
+            raise ConfigurationError(
+                f"unknown client_backend {self.client_backend!r}; "
+                f"known: {CLIENT_BACKENDS}"
+            )
+        if self.client_backend == "aggregated" and self.trace_path is not None:
+            raise ConfigurationError(
+                "client_backend='aggregated' cannot replay a trace: a "
+                "recorded trace is an exact per-client request schedule "
+                "(use the per-client backend for trace_path runs)"
+            )
         if self.policy == "threshold-static" and self.assumed_hit_ratio is None:
             raise ConfigurationError(
                 "threshold-static needs assumed_hit_ratio (or use threshold-dynamic)"

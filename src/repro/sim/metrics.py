@@ -30,7 +30,45 @@ from repro.des.environment import Environment
 from repro.des.monitors import Tally
 from repro.network.link import SharedLink
 
-__all__ = ["MetricsCollector", "SimulationMetrics", "finalize_aggregate"]
+__all__ = [
+    "MetricsCollector",
+    "SimulationMetrics",
+    "ClientClassStats",
+    "finalize_aggregate",
+]
+
+
+@dataclass(frozen=True)
+class ClientClassStats:
+    """Per-class accounting of an aggregated-backend run.
+
+    One row per :class:`~repro.workload.aggregate.ClientClass`: how many
+    clients the class stands for, its aggregate request rate, and its
+    request/cache/prefetch counters (lifted from the class's controller
+    and cache, which exist once per class).  The rows partition the run's
+    totals *exactly* — ``sum(requests)`` equals the tier-wide controller
+    request count, hits+misses per class equal that class's cache
+    accesses — so aggregating over classes reproduces the whole-run
+    numbers with no double counting (pinned by tests).  Note the counters
+    are lifetime (un-warmup-gated), matching ``cache_stats`` /
+    ``controller_stats``; the warmup-gated figures live in ``metrics``.
+    """
+
+    class_id: int
+    node_id: int
+    num_members: int
+    representative: int
+    request_rate: float
+    requests: int
+    cache_hits: int
+    cache_misses: int
+    prefetches_issued: int
+    prefetches_completed: int
+
+    @property
+    def hit_ratio(self) -> float:
+        accesses = self.cache_hits + self.cache_misses
+        return self.cache_hits / accesses if accesses else 0.0
 
 
 @dataclass(frozen=True)

@@ -55,7 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim builds nodes)
 __all__ = ["FetchTable", "FetchTableStats", "PendingFetch", "ProxyNode"]
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchTableStats:
     """Lifetime accounting of one table (fuzz/invariant-test surface)."""
 
@@ -114,6 +114,8 @@ class FetchTable:
     exactly like the other two kinds, so everything the planner and the
     request path know about pending items extends to cooperation for free.
     """
+
+    __slots__ = ("env", "_pending", "stats")
 
     def __init__(self, env) -> None:
         self.env = env
@@ -480,6 +482,64 @@ class ProxyNode:
             # request rate is unaffected by congestion or prefetching —
             # exactly the paper's §2.1 assumption.
             self.env.process(handle_request(item))
+
+    def class_process(
+        self,
+        rep_id: int,
+        controller,
+        *,
+        arrivals,
+        arrival_rng,
+        items,
+        block: int = 256,
+    ):
+        """Aggregated synthetic driver: one process per client *class*.
+
+        Instead of one generator resume per request, the driver pre-draws
+        a NumPy block of inter-arrival gaps, accumulates them into absolute
+        arrival times and pushes the whole block onto the event heap with
+        the request-spawn callback attached (``env.call_at``); it then
+        sleeps until the block's last arrival and refills.  Per request the
+        loop pays one heap pop + one callback — the driver generator wakes
+        ``1/block`` as often as the per-client driver.
+
+        Equivalence: gaps accumulate sequentially (``t = t + gap``), which
+        reproduces the per-client driver's repeated ``timeout(gap)``
+        schedule bit-exactly, and ``arrivals.gaps(rng, n)`` consumes the
+        RNG bit stream exactly like ``n`` scalar ``next_gap`` calls — so a
+        singleton class is *bit-identical* to :meth:`client_process` (the
+        over-drawn trailing gaps touch a stream nothing else reads).  Items
+        are taken from ``items`` in arrival order, one per in-horizon
+        arrival, same as the per-client driver.
+        """
+        env = self.env
+        handle_request = self.request_handler(rep_id, controller)
+        spawn_process = env.process
+        call_at = env.call_at
+        duration = self.sim.config.duration
+
+        def dispatch(event):
+            # Open-loop spawn, same as client_process: arrivals are never
+            # delayed by congestion.
+            spawn_process(handle_request(event.value))
+
+        t = env.now
+        while True:
+            gaps = arrivals.gaps(arrival_rng, block)
+            last = None
+            # tolist(): python floats, same doubles — event times must not
+            # leak numpy scalars into metrics/hashing downstream.
+            for gap in gaps.tolist():
+                t = t + gap
+                if t > duration:
+                    # Past the horizon: run(until=duration) would never
+                    # process this (or any later) arrival, so stop
+                    # scheduling — the heap stays proportional to one
+                    # block, not to the overdraw.
+                    return
+                last = call_at(t, dispatch, next(items))
+            if last is not None:
+                yield last
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

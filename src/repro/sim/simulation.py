@@ -71,10 +71,18 @@ from repro.prefetch import (
     TopKPolicy,
 )
 from repro.sim.config import SimulationConfig
-from repro.sim.metrics import MetricsCollector, SimulationMetrics, finalize_aggregate
+from repro.sim.metrics import (
+    ClientClassStats,
+    MetricsCollector,
+    SimulationMetrics,
+    finalize_aggregate,
+)
 from repro.sim.node import ProxyNode
+from repro.workload.aggregate import AggregateClassSource, partition_client_classes
+from repro.workload.arrivals import PoissonArrivals
 from repro.workload.markov_source import MarkovChainSource
 from repro.workload.replay import TraceReplaySource
+from repro.workload.zipf import shared_catalog
 
 __all__ = ["Simulation", "run_simulation", "SimulationOutput", "ProxyShardStats"]
 
@@ -207,6 +215,9 @@ class SimulationOutput:
     per_proxy: tuple[ProxyShardStats, ...] = ()
     peer_fetches: int = 0
     peer_bytes: float = 0.0
+    #: per-class accounting rows of an aggregated-backend run (empty for
+    #: the per-client backend); the rows partition the totals exactly.
+    client_classes: tuple[ClientClassStats, ...] = ()
 
     @property
     def prefetch_traffic_share(self) -> float:
@@ -275,6 +286,9 @@ class Simulation:
         self._bind_router()
         self.clients: list[PrefetchController] = []
         self._caches = []
+        #: homogeneous classes of an aggregated-backend run, aligned
+        #: index-for-index with ``clients``/``_caches`` (empty per-client)
+        self.client_classes = []
         self._build_clients()
 
     # ------------------------------------------------------------------
@@ -422,6 +436,9 @@ class Simulation:
 
     def _build_clients(self) -> None:
         config = self.config
+        if config.client_backend == "aggregated":
+            self._build_aggregated()
+            return
         topo = config.topology
         spec = config.workload
         handlers: dict[int, object] = {}
@@ -477,6 +494,94 @@ class Simulation:
         if self.replay is not None:
             self.env.process(self._trace_driver(handlers))
 
+    def _build_aggregated(self) -> None:
+        """Aggregated backend: one controller/cache/driver per client *class*.
+
+        Mirrors ``_build_clients`` structurally — warmup processes first,
+        then the per-entity build loop in ascending id order — but iterates
+        over the homogeneous classes of :func:`partition_client_classes`
+        instead of individual clients.  A class is *attached to its node
+        under its representative's client id* (lowest member), so routing,
+        fetch tables and shard accounting are untouched; singleton classes
+        reuse the per-client RNG stream names and draw order, which makes
+        them bit-identical to the per-client backend (pinned by tests).
+        """
+        config = self.config
+        topo = config.topology
+        spec = config.workload
+        for node in self.nodes:
+            self.env.process(node.collector.warmup_process())
+        classes = partition_client_classes(spec, topo)
+        self.client_classes = classes
+        # Offered rate per node, mirroring the per-client loop: one proxy
+        # keeps the spec's exact aggregate; otherwise sum class rates in
+        # representative (= lowest client id) order, which for singleton
+        # classes is the identical float-summation order as the
+        # per-client loop — same policy inputs bit-for-bit.
+        if topo.num_proxies == 1:
+            node_rates = [spec.request_rate]
+        else:
+            node_rates = [0.0] * topo.num_proxies
+            for cls in classes:
+                node_rates[cls.node_id] += cls.request_rate
+        for cls in classes:
+            node = self.nodes[cls.node_id]
+            rep = cls.representative
+            label = cls.stream_label
+            if cls.singleton:
+                # One member: the exact per-client machinery (and RNG
+                # streams — label == f"client{rep}").
+                source = spec.make_source(rep, self.streams)
+                arrivals = spec.make_arrivals(rep)
+            else:
+                # Poisson superposition: k members at rate λ merge into
+                # one Poisson(kλ) arrival process; the merged reference
+                # stream comes from the class source.
+                source = AggregateClassSource(
+                    shared_catalog(cls.catalog_size, cls.zipf_exponent),
+                    num_members=cls.size,
+                    follow_probability=cls.follow_probability,
+                    rng=self.streams.get(f"{label}/items"),
+                )
+                arrivals = PoissonArrivals(cls.request_rate)
+            predictor = _build_predictor(config, source)
+            estimator = ThresholdEstimator(
+                node.bandwidth, cache_size=float(node.cache_capacity)
+            )
+            cache = make_cache(
+                config.cache_policy,
+                node.cache_capacity,
+                rng=self.streams.get(f"{label}/evictions"),
+                value_fn=lambda key, p=predictor: p.probability(key),
+            )
+            policy = _build_policy(
+                config,
+                estimator,
+                bandwidth=node.bandwidth,
+                cache_capacity=node.cache_capacity,
+                request_rate=node_rates[node.node_id],
+            )
+            controller = PrefetchController(
+                predictor=predictor,
+                policy=policy,
+                cache=cache,
+                bandwidth=node.bandwidth,
+                estimator=estimator,
+            )
+            table = node.attach_client(rep, controller=controller, cache=cache)
+            controller.attach_fetch_table(table)
+            self.clients.append(controller)
+            self._caches.append(cache)
+            self.env.process(
+                node.class_process(
+                    rep,
+                    controller,
+                    arrivals=arrivals,
+                    arrival_rng=self.streams.get(f"{label}/arrivals"),
+                    items=source.stream(),
+                )
+            )
+
     def _trace_driver(self, handlers):
         """Replay driver: one process walking the merged trace in recorded
         order (which IS time order), dispatching each record to its
@@ -522,6 +627,23 @@ class Simulation:
             metrics = shards[0].metrics
         else:
             metrics = finalize_aggregate([n.collector for n in self.nodes])
+        class_rows = tuple(
+            ClientClassStats(
+                class_id=cls.class_id,
+                node_id=cls.node_id,
+                num_members=cls.size,
+                representative=cls.representative,
+                request_rate=cls.request_rate,
+                requests=controller.stats.requests,
+                cache_hits=cache.stats.hits,
+                cache_misses=cache.stats.misses,
+                prefetches_issued=controller.stats.prefetches_issued,
+                prefetches_completed=controller.stats.prefetches_completed,
+            )
+            for cls, controller, cache in zip(
+                self.client_classes, self.clients, self._caches
+            )
+        )
         return SimulationOutput(
             metrics=metrics,
             cache_stats=[c.stats for c in self._caches],
@@ -533,6 +655,7 @@ class Simulation:
             per_proxy=shards,
             peer_fetches=sum(s.peer_fetches for s in shards),
             peer_bytes=sum(s.peer_bytes for s in shards),
+            client_classes=class_rows,
         )
 
 

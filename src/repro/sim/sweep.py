@@ -96,7 +96,12 @@ __all__ = [
 #:     bump guarantees screened sessions can never read (or be read as)
 #:     pre-screening cache entries, so analytic points never alias cached
 #:     full runs.
-CACHE_SCHEMA_VERSION = 5
+#: v6: client-class aggregation (PR 7): SimulationConfig grew
+#:     ``client_backend`` (covered by the hash via dataclass
+#:     decomposition) and SimulationOutput grew per-class stats rows;
+#:     rebudgeted screens store boosted replication counts under keys
+#:     hashing that boosted count, which older readers must not alias.
+CACHE_SCHEMA_VERSION = 6
 
 
 # ----------------------------------------------------------------------
@@ -266,6 +271,21 @@ class AnalyticScreen:
     predictor:
         The analytic model; swap for ``AnalyticPredictor("laoutaris")``
         etc.
+    rebudget:
+        Spend the DES time the analytic fills freed on *extra
+        replications* of the simulated frontier points instead of just
+        pocketing it: the replications freed by analytic fills are
+        divided evenly across the simulated points (integer share each).
+        Because the per-point seed schedule ``seed0 + 1000·i`` is
+        prefix-stable, each boosted point's first ``replications``
+        samples stay bit-identical to the unscreened run — rebudgeting
+        only *appends* samples, tightening confidence intervals exactly
+        where the grid is decided.  The total replication count never
+        exceeds the unscreened grid's.
+    rebudget_cap:
+        Upper bound on the boost as a multiple of a point's own
+        ``replications`` (default 4×), so a near-empty frontier cannot
+        concentrate an absurd sample count on one point.
     """
 
     keep: float | int = 0.25
@@ -274,6 +294,8 @@ class AnalyticScreen:
     by: str | None = None
     band: float = 0.05
     predictor: Any = None
+    rebudget: bool = False
+    rebudget_cap: int = 4
 
     def __post_init__(self) -> None:
         if isinstance(self.keep, bool) or (
@@ -285,6 +307,11 @@ class AnalyticScreen:
             )
         if self.band < 0:
             raise ConfigurationError(f"screen band must be >= 0, got {self.band!r}")
+        if not isinstance(self.rebudget_cap, int) or self.rebudget_cap < 1:
+            raise ConfigurationError(
+                f"screen rebudget_cap must be an int >= 1, "
+                f"got {self.rebudget_cap!r}"
+            )
         if self.predictor is None:
             from repro.analysis.cachemodel import AnalyticPredictor
 
@@ -610,7 +637,10 @@ class SweepExecutor:
         their *original grid index* for seed spawning and their usual
         cache keys, so their metrics are bit-identical to the same points
         in an unscreened run.  Analytic fills are never written to the
-        result cache.
+        result cache.  A screen with ``rebudget=True`` additionally
+        re-spends the freed replications on the simulated frontier (see
+        :class:`AnalyticScreen`); boosted points hash — and cache — under
+        their boosted replication count.
         """
         started = time.perf_counter()
         points = tuple(points)
@@ -624,25 +654,44 @@ class SweepExecutor:
             predictions = screen.evaluate(points)
             simulate_keys = screen.select(points, predictions)
 
+        # Rebudgeting: replications freed by analytic fills are re-spent
+        # as extra replications of the simulated frontier (even integer
+        # share per point, capped per point).  The seed schedule is
+        # prefix-stable, so a boosted point's first `replications` samples
+        # are bit-identical to the unscreened run; total DES replications
+        # never exceed the unscreened grid's.
+        extra_each = 0
+        if screen is not None and screen.rebudget and simulate_keys:
+            freed = sum(
+                pt.replications for pt in points if pt.key not in simulate_keys
+            )
+            extra_each = freed // len(simulate_keys)
+
         plans: list[_PointPlan] = []
         for index, pt in enumerate(points):
             if pt.key not in simulate_keys:
                 continue  # analytic fill; index stays the grid position
+            reps = pt.replications
+            if extra_each:
+                reps = min(
+                    pt.replications * screen.rebudget_cap,
+                    pt.replications + extra_each,
+                )
             seed0 = self._base_seed(index, pt, spawn_seeds)
             configs = [
                 replace(pt.config, seed=s)
-                for s in _replication_seeds(seed0, pt.replications)
+                for s in _replication_seeds(seed0, reps)
             ]
             cache_key = cached = None
             if self.cache_dir is not None:
                 try:
                     cache_key = scenario_hash(
-                        pt.config, replications=pt.replications, base_seed=seed0
+                        pt.config, replications=reps, base_seed=seed0
                     )
                 except Exception:
                     cache_key = None  # unhashable config: run uncached
                 if cache_key is not None:
-                    cached = self._cache_load(cache_key, pt.replications)
+                    cached = self._cache_load(cache_key, reps)
             plans.append(_PointPlan(pt, configs, cache_key, cached))
 
         flat = [cfg for plan in plans if plan.cached is None for cfg in plan.configs]

@@ -22,6 +22,8 @@ __all__ = ["ArrivalProcess", "PoissonArrivals", "DeterministicArrivals", "Weibul
 class ArrivalProcess(ABC):
     """A stream of inter-arrival gaps with known mean rate."""
 
+    __slots__ = ("rate",)
+
     def __init__(self, rate: float) -> None:
         if rate <= 0:
             raise ParameterError(f"arrival rate must be > 0, got {rate!r}")
@@ -39,6 +41,8 @@ class ArrivalProcess(ABC):
 class PoissonArrivals(ArrivalProcess):
     """Exponential gaps — the paper's M arrival assumption."""
 
+    __slots__ = ()
+
     name = "poisson"
 
     def next_gap(self, rng: np.random.Generator) -> float:
@@ -50,6 +54,8 @@ class PoissonArrivals(ArrivalProcess):
 
 class DeterministicArrivals(ArrivalProcess):
     """Fixed gaps — zero burstiness (D arrivals)."""
+
+    __slots__ = ()
 
     name = "deterministic"
 
@@ -63,6 +69,8 @@ class WeibullArrivals(ArrivalProcess):
     ``shape < 1`` is burstier than Poisson, ``shape > 1`` smoother,
     ``shape = 1`` coincides with Poisson.
     """
+
+    __slots__ = ("shape", "_scale")
 
     name = "weibull"
 

@@ -40,6 +40,15 @@ class MarkovChainSource:
         Generator for the random draws.
     """
 
+    __slots__ = (
+        "catalog",
+        "follow_probability",
+        "successor_shift",
+        "_rng",
+        "_current",
+        "_dist_cache",
+    )
+
     def __init__(
         self,
         catalog: ZipfCatalog,

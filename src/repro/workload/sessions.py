@@ -31,7 +31,7 @@ from repro.workload.arrivals import ArrivalProcess, PoissonArrivals
 from repro.workload.markov_source import MarkovChainSource
 from repro.workload.sizes import FixedSize, SizeDistribution
 from repro.workload.trace import TraceRecord
-from repro.workload.zipf import ZipfCatalog
+from repro.workload.zipf import ZipfCatalog, shared_catalog
 
 __all__ = ["WorkloadSpec", "generate_trace", "CLIENT_OVERRIDE_FIELDS"]
 
@@ -153,7 +153,9 @@ class WorkloadSpec:
         return float(self.client_param(client, "request_rate"))
 
     def make_catalog(self, client: int | None = None) -> ZipfCatalog:
-        return ZipfCatalog(
+        # Shared (memoised) instance: the catalogue is immutable, and at
+        # large populations per-client copies dominate build memory.
+        return shared_catalog(
             int(self.client_param(client, "catalog_size")),
             float(self.client_param(client, "zipf_exponent")),
         )

@@ -9,11 +9,13 @@ can be compared against the analysis with no estimation error in between.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.errors import ParameterError
 
-__all__ = ["ZipfCatalog"]
+__all__ = ["ZipfCatalog", "shared_catalog"]
 
 
 class ZipfCatalog:
@@ -38,6 +40,8 @@ class ZipfCatalog:
     >>> abs(sum(cat.probabilities) - 1.0) < 1e-12
     True
     """
+
+    __slots__ = ("num_items", "exponent", "_probs", "_cumulative")
 
     def __init__(self, num_items: int, exponent: float = 1.0) -> None:
         if num_items < 1:
@@ -111,3 +115,18 @@ class ZipfCatalog:
         if cache_items <= 0:
             return 0.0
         return float(self._probs[: min(cache_items, self.num_items)].sum())
+
+
+@lru_cache(maxsize=64)
+def shared_catalog(num_items: int, exponent: float) -> ZipfCatalog:
+    """One :class:`ZipfCatalog` per ``(num_items, exponent)``, memoised.
+
+    A catalogue is immutable after construction (probability/cumulative
+    arrays are only ever read), so every client with the same parameters
+    can safely share one instance.  At 100k+ clients the per-client
+    catalogue arrays (~16 bytes × num_items each) dominate build memory;
+    sharing collapses that to one copy per distinct parameter pair.
+    Callers that need an unshared instance (e.g. to mutate in a test)
+    construct :class:`ZipfCatalog` directly.
+    """
+    return ZipfCatalog(num_items=num_items, exponent=exponent)

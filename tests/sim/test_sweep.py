@@ -449,3 +449,87 @@ class TestAnalyticScreen:
         )
         assert len(screened.predictions) == len(points)
         assert screened.analytic_keys()
+
+
+class TestRebudget:
+    """``AnalyticScreen(rebudget=True)``: freed DES time becomes extra
+    replications on the simulated frontier.
+
+    Contracts:
+
+    * the total replication count never exceeds the unscreened grid's;
+    * per-point boosts respect ``rebudget_cap × replications``;
+    * the first ``replications`` samples of every boosted point are
+      **bit-identical** to the unscreened run (the ``seed0 + 1000·i``
+      schedule is prefix-stable — rebudgeting only appends samples);
+    * ``rebudget=False`` (the default) leaves screened runs unchanged.
+    """
+
+    def test_boosts_within_grid_budget_and_cap(self):
+        points = _screen_grid(replications=2)
+        screen = AnalyticScreen(keep=0.2, by="cap", rebudget=True,
+                                rebudget_cap=3)
+        result = SweepExecutor(jobs=1).run(points, screen=screen)
+        assert result.analytic_keys()  # the screen actually skipped work
+        total = sum(len(result.raw[k]) for k in result.simulated_keys())
+        grid_total = sum(pt.replications for pt in points)
+        assert total <= grid_total
+        for key in result.simulated_keys():
+            reps = len(result.raw[key])
+            assert 2 <= reps <= 2 * screen.rebudget_cap
+        # Something actually got boosted (the screen skips >= half this
+        # grid, so the freed share is >= 1 per simulated point).
+        assert any(
+            len(result.raw[k]) > 2 for k in result.simulated_keys()
+        )
+
+    def test_boosted_prefix_bit_identical_to_unscreened(self):
+        points = _screen_grid(replications=2)
+        full = SweepExecutor(jobs=1).run(points)
+        boosted = SweepExecutor(jobs=1).run(
+            points,
+            screen=AnalyticScreen(keep=0.2, by="cap", rebudget=True),
+        )
+        for key in boosted.simulated_keys():
+            a, b = full[key], boosted[key]
+            assert a.metric_names == b.metric_names
+            for name in a.metric_names:
+                prefix = np.asarray(b[name])[: len(a[name])]
+                assert np.array_equal(
+                    np.asarray(a[name]), prefix, equal_nan=True
+                ), name
+
+    def test_rebudget_off_is_unchanged(self):
+        points = _screen_grid(replications=2)
+        plain = SweepExecutor(jobs=1).run(
+            points, screen=AnalyticScreen(keep=0.2, by="cap")
+        )
+        off = SweepExecutor(jobs=1).run(
+            points,
+            screen=AnalyticScreen(keep=0.2, by="cap", rebudget=False),
+        )
+        assert plain.provenance == off.provenance
+        for key in plain.simulated_keys():
+            _assert_identical(plain[key], off[key])
+            assert len(plain.raw[key]) == len(off[key].samples[
+                plain[key].metric_names[0]
+            ])
+
+    def test_rebudgeted_points_cache_under_boosted_count(self, tmp_path):
+        points = _screen_grid(replications=2)
+        screen = AnalyticScreen(keep=0.2, by="cap", rebudget=True)
+        first = SweepExecutor(jobs=1, cache_dir=tmp_path).run(
+            points, screen=screen
+        )
+        second = SweepExecutor(jobs=1, cache_dir=tmp_path).run(
+            points, screen=screen
+        )
+        assert set(second.cache_hits) == set(first.cache_misses)
+        for key in first.simulated_keys():
+            _assert_identical(first[key], second[key])
+
+    def test_rebudget_validation(self):
+        with pytest.raises(ConfigurationError):
+            AnalyticScreen(rebudget_cap=0)
+        with pytest.raises(ConfigurationError):
+            AnalyticScreen(rebudget_cap=2.5)
