@@ -1,0 +1,80 @@
+"""Benchmarks: the declarative scenario engine end-to-end.
+
+Two measurements:
+
+* the ``scenario`` experiment on the committed flash-crowd catalog file at
+  full fidelity — the PR-8 artefact: a phased workload (steady → 4x spike
+  → recovery) run against stationary twins at the same average offered
+  load, with the KPI scorecard attached.  The run must demonstrate the
+  headline claim: the phased load *changes the policy ranking* relative
+  to the stationary baseline (prefetching wins on averages, loses under
+  the spike);
+* schema + compile throughput — validating and expanding a scenario
+  document is pure Python bookkeeping and must stay micro-fast (it runs
+  on every CLI invocation and in the CI catalog lint).
+
+Run:  pytest benchmarks/test_bench_scenario.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import get_experiment
+from repro.scenario import compile_config, expand_points, load_scenario, parse_scenario
+from repro.sim.sweep import CACHE_SCHEMA_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FLASH_CROWD = REPO_ROOT / "scenarios" / "flash_crowd.yaml"
+
+
+def test_bench_scenario_flash_crowd(benchmark):
+    """Full-fidelity flash crowd: phased vs stationary ranking + KPIs."""
+    experiment = get_experiment("scenario")
+    experiment.scenario_path = FLASH_CROWD
+    experiment.show_kpis = True
+    result = benchmark.pedantic(
+        lambda: experiment.run(fast=False), rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.render(plots=False))
+    # grid table + ranking table + KPI scorecard
+    assert len(result.tables) == 3
+    assert any(
+        name.startswith("KPI scorecard") for name, _, _ in result.tables
+    )
+    # the headline claim: phased load flips the stationary policy ranking
+    assert any("ranking change" in note for note in result.notes)
+    # audit trail: every executed point carries a resolved scenario hash
+    assert result.cache_schema_version == CACHE_SCHEMA_VERSION
+    assert result.scenario_hashes and all(result.scenario_hashes.values())
+
+
+def test_bench_schema_compile_throughput(benchmark):
+    """Validate + compile + expand the flash-crowd document in a loop."""
+    spec = load_scenario(FLASH_CROWD)
+    document = {
+        "name": spec.name,
+        "workload": {
+            "num_clients": spec.workload.num_clients,
+            "request_rate": spec.workload.request_rate,
+            "phases": [
+                {"duration": p.duration, "rate_multiplier": p.rate_multiplier}
+                for p in spec.workload.phases
+            ],
+        },
+        "system": {"bandwidth": spec.system.bandwidth},
+        "sweep": {
+            "replications": 2,
+            "grid": {"system.policy": ["none", "threshold-dynamic", "all"]},
+        },
+    }
+
+    def validate_and_expand():
+        parsed = parse_scenario(document)
+        compile_config(parsed)
+        return expand_points(parsed)
+
+    points = benchmark(validate_and_expand)
+    assert len(points) == 3

@@ -592,6 +592,13 @@ class AnalyticPredictor:
                 "trace_driven_cache_hit_ratio, or simulate"
             )
         spec = config.workload
+        if spec.phases is not None:
+            raise PredictionUnsupported(
+                "phased workloads are piecewise-stationary; the Che/PS "
+                "closed forms assume one stationary regime — simulate, or "
+                "predict the stationary twin (phases=None, request_rate "
+                "scaled by the schedule's average multiplier)"
+            )
         topo = config.topology
         s_bar = spec.mean_item_size
         num_nodes = topo.num_proxies

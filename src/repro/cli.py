@@ -18,6 +18,10 @@ Record a workload trace, then replay it under every prefetch policy::
 
     python -m repro record-trace --trace run.jsonl --trace-duration 120
     python -m repro trace-replay --trace run.jsonl
+
+Run a declarative scenario file with the KPI scorecard::
+
+    python -m repro run-scenario scenarios/flash_crowd.yaml --kpi
 """
 
 from __future__ import annotations
@@ -77,7 +81,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment id (see --list), 'all', or 'record-trace'",
+        help=(
+            "experiment id (see --list), 'all', 'record-trace', or "
+            "'run-scenario FILE'"
+        ),
+    )
+    parser.add_argument(
+        "scenario_file",
+        nargs="?",
+        type=Path,
+        metavar="FILE",
+        help=(
+            "scenario document (.yaml/.json) for the 'run-scenario' "
+            "command; see scenarios/ for the catalog"
+        ),
+    )
+    parser.add_argument(
+        "--kpi",
+        action="store_true",
+        help=(
+            "attach the KPI scorecard (p50/p95/p99 access-time tails, "
+            "byte-hit ratio, per-shard utilisation, peer share) to each "
+            "scenario grid point (scenario experiment only)"
+        ),
     )
     parser.add_argument(
         "--trace",
@@ -242,6 +268,10 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
         experiment.cooperation_modes = args.cooperation
     if args.screen is not None and hasattr(experiment, "screen_keep"):
         experiment.screen_keep = args.screen
+    if args.scenario_file is not None and hasattr(experiment, "scenario_path"):
+        experiment.scenario_path = args.scenario_file
+    if args.kpi and hasattr(experiment, "show_kpis"):
+        experiment.show_kpis = True
     result = experiment.run(fast=args.fast, jobs=args.jobs)
     report = result.render(plots=not args.no_plots)
     if args.csv_dir is not None:
@@ -263,6 +293,25 @@ def main(argv: list[str] | None = None) -> int:
     registry = all_experiments()
     if args.experiment == "record-trace":
         return _record_trace(args)
+    if args.experiment == "run-scenario":
+        # Validate the file up front so authoring mistakes surface as one
+        # path-qualified line, not a mid-run stack trace, then dispatch to
+        # the registered 'scenario' experiment.
+        from repro.scenario import ScenarioError, load_scenario
+
+        if args.scenario_file is None:
+            print(
+                "run-scenario needs a scenario file: "
+                "run-scenario FILE [--kpi] (see scenarios/)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            load_scenario(args.scenario_file)
+        except ScenarioError as exc:
+            print(f"invalid scenario: {exc}", file=sys.stderr)
+            return 2
+        args.experiment = "scenario"
     if args.list or not args.experiment:
         print("available experiments:")
         for key in sorted(registry):

@@ -14,6 +14,7 @@ from repro.experiments import (  # noqa: F401 - imports register experiments
     load_impedance,
     model_compare,
     policy_ablation,
+    scenario,
     sharding,
     sim_vs_analytic,
     threshold_claims,

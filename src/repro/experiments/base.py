@@ -47,6 +47,13 @@ class ExperimentResult:
     notes: list[str] = field(default_factory=list)
     jobs: int | None = None
     wall_clock_seconds: float | None = None
+    #: audit trail (filled in by :meth:`Experiment.run`): the resolved
+    #: ``scenario_hash`` of every sweep point executed during the run
+    #: (None = unhashable config or analytic fill) plus the cache schema
+    #: version they were resolved under — what makes cached sweep results
+    #: attributable from the report alone.
+    scenario_hashes: dict[str, str | None] = field(default_factory=dict)
+    cache_schema_version: int | None = None
 
     def render(self, *, plots: bool = True, max_rows: int | None = 12) -> str:
         """Human-readable report (what the bench prints)."""
@@ -68,6 +75,20 @@ class ExperimentResult:
             chunks.append(format_table(headers, rows, precision=5))
         for note in self.notes:
             chunks.append(f"note: {note}")
+        if self.scenario_hashes:
+            version = self.cache_schema_version
+            chunks.append(
+                f"--- scenario hashes (cache schema v{version}) ---"
+            )
+            chunks.append(
+                format_table(
+                    ["point", "scenario_hash"],
+                    [
+                        [key, (h[:16] if h else "-")]
+                        for key, h in self.scenario_hashes.items()
+                    ],
+                )
+            )
         return "\n\n".join(chunks)
 
 
@@ -102,12 +123,26 @@ class Experiment(ABC):
         way).  The returned result records the effective worker count and
         total wall-clock.
         """
+        from repro.sim.sweep import (
+            CACHE_SCHEMA_VERSION,
+            current_engine,
+            sweep_session,
+        )
+
         started = time.perf_counter()
-        with replication_jobs(jobs):
+        # Pin ONE engine for the whole run (current_engine() returns a
+        # fresh default engine per call when no session engine is set):
+        # every grid inside _execute shares it, so its hash_log is the
+        # complete audit trail of this run's sweep points.
+        engine = current_engine()
+        log_start = len(engine.hash_log)
+        with replication_jobs(jobs), sweep_session(engine):
             effective_jobs = get_default_jobs()
             result = self._execute(fast=fast)
         result.jobs = effective_jobs
         result.wall_clock_seconds = time.perf_counter() - started
+        result.scenario_hashes = dict(engine.hash_log[log_start:])
+        result.cache_schema_version = CACHE_SCHEMA_VERSION
         return result
 
     @abstractmethod

@@ -15,6 +15,12 @@ axes where it matters:
   caches evict before a peer can benefit, large caches make the *local*
   hit ratio so high that probes rarely fire.
 
+The grid is declared through the scenario schema (:mod:`repro.scenario`):
+an in-memory scenario document with a ``sweep.grid`` over
+``topology.cooperation.mode`` × ``topology.num_proxies`` ×
+``system.cache_capacity`` — the nested-cooperation axis exercising the
+dotted-path override machinery YAML scenario files use.
+
 Routing is ``item-hash`` throughout: the ring concentrates each item's
 demand-fetched copies at its owner, which is exactly the proxy cooperation
 probes — so owner-probe captures most of broadcast's yield at a fraction
@@ -36,10 +42,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.experiments.base import Experiment, ExperimentResult, register
-from repro.network.topology import CooperationConfig, TopologyConfig
-from repro.sim.config import SimulationConfig
-from repro.sim.sweep import SweepPoint
-from repro.workload.sessions import WorkloadSpec
+from repro.scenario import expand_points, parse_scenario
 
 __all__ = ["CooperativeCachingExperiment"]
 
@@ -55,24 +58,38 @@ class CooperativeCachingExperiment(Experiment):
     #: proxy counts to sweep (overridden by the CLI ``--proxies``)
     proxy_counts: tuple[int, ...] | None = None
 
-    def base_config(self, *, fast: bool) -> SimulationConfig:
-        return SimulationConfig(
-            workload=WorkloadSpec(
-                num_clients=8,
-                request_rate=40.0,
-                catalog_size=400,
-                zipf_exponent=0.9,
-                follow_probability=0.7,
-            ),
-            bandwidth=30.0,  # per-proxy uplink: the tier runs warm
-            cache_policy="lru",
-            cache_capacity=40,
-            predictor="true-distribution",
-            policy="threshold-dynamic",
-            duration=120.0 if fast else 400.0,
-            warmup=24.0 if fast else 60.0,
-            seed=29,
-        )
+    def scenario_document(self, *, fast: bool) -> dict:
+        """The grid as a scenario document (what a YAML file would hold)."""
+        return {
+            "name": "cooperative-caching-grid",
+            "description": "cooperation mode x proxies x cache, item-hash tier",
+            "workload": {
+                "num_clients": 8,
+                "request_rate": 40.0,
+                "catalog_size": 400,
+                "zipf_exponent": 0.9,
+                "follow_probability": 0.7,
+            },
+            "system": {
+                "bandwidth": 30.0,  # per-proxy uplink: the tier runs warm
+                "cache_policy": "lru",
+                "cache_capacity": 40,
+                "predictor": "true-distribution",
+                "policy": "threshold-dynamic",
+                "duration": 120.0 if fast else 400.0,
+                "warmup": 24.0 if fast else 60.0,
+                "seed": 29,
+            },
+            "topology": {"routing": "item-hash"},
+            "sweep": {
+                "replications": 2 if fast else 3,
+                "grid": {
+                    "topology.cooperation.mode": list(self._modes()),
+                    "topology.num_proxies": list(self._counts(fast=fast)),
+                    "system.cache_capacity": list(self._cache_sizes(fast=fast)),
+                },
+            },
+        }
 
     def _modes(self) -> tuple[str, ...]:
         if self.cooperation_modes is not None:
@@ -92,30 +109,15 @@ class CooperativeCachingExperiment(Experiment):
             experiment_id=self.experiment_id,
             title="Cooperative caching: remote hits vs mode x proxies x cache",
         )
-        base = self.base_config(fast=fast)
+        spec = parse_scenario(
+            self.scenario_document(fast=fast),
+            source="<cooperative-caching experiment>",
+        )
+        points = expand_points(spec)
+        base = points[0].config
         modes = self._modes()
         counts = self._counts(fast=fast)
         cache_sizes = self._cache_sizes(fast=fast)
-        reps = 2 if fast else 3
-        points = [
-            SweepPoint(
-                key=f"{mode}/P={proxies}/C={cache}",
-                config=replace(
-                    base,
-                    cache_capacity=cache,
-                    topology=TopologyConfig(
-                        num_proxies=proxies,
-                        routing="item-hash",
-                        cooperation=CooperationConfig(mode=mode),
-                    ),
-                ),
-                replications=reps,
-                meta={"mode": mode, "proxies": proxies, "cache": cache},
-            )
-            for mode in modes
-            for proxies in counts
-            for cache in cache_sizes
-        ]
         outcomes = self.engine.run(points)
 
         mid_cache = cache_sizes[len(cache_sizes) // 2]
@@ -124,13 +126,13 @@ class CooperativeCachingExperiment(Experiment):
         largest = replace(
             outcomes,
             points=tuple(
-                pt for pt in points if pt.meta["proxies"] == max(counts)
+                pt for pt in points if pt.meta["num_proxies"] == max(counts)
             ),
         )
         result.sweeps.append(
             largest.to_sweep(
                 "mean_access_time",
-                x="cache" if len(cache_sizes) > 1 else "proxies",
+                x="cache_capacity" if len(cache_sizes) > 1 else "num_proxies",
                 by="mode",
                 title=(
                     f"mean access time t̄ vs cache size "
@@ -149,8 +151,8 @@ class CooperativeCachingExperiment(Experiment):
         rows = [
             [
                 pt.meta["mode"],
-                pt.meta["proxies"],
-                pt.meta["cache"],
+                pt.meta["num_proxies"],
+                pt.meta["cache_capacity"],
                 outcomes.mean(pt.key, "mean_access_time"),
                 outcomes.mean(pt.key, "hit_ratio"),
                 outcomes.mean(pt.key, "remote_hit_rate"),
@@ -170,12 +172,17 @@ class CooperativeCachingExperiment(Experiment):
                 rows,
             )
         )
+        by_meta = {
+            (pt.meta["mode"], pt.meta["num_proxies"], pt.meta["cache_capacity"]):
+                pt.key
+            for pt in points
+        }
         for proxies in counts:
             for mode in modes:
                 if mode == "none":
                     continue
-                key = f"{mode}/P={proxies}/C={mid_cache}"
-                none_key = f"none/P={proxies}/C={mid_cache}"
+                key = by_meta.get((mode, proxies, mid_cache))
+                none_key = by_meta.get(("none", proxies, mid_cache))
                 if key in outcomes.results and none_key in outcomes.results:
                     gain = outcomes.mean(none_key, "mean_access_time") - (
                         outcomes.mean(key, "mean_access_time")

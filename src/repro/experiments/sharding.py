@@ -8,6 +8,13 @@ engine: the same client population is re-homed across 1, 2, 4, … proxies
 routing), every proxy bringing its own uplink of the configured
 bandwidth, so aggregate capacity grows with the count.
 
+The grid itself is declared through the scenario schema
+(:mod:`repro.scenario`): the experiment authors an in-memory scenario
+document — base workload/system sections plus a
+``sweep.grid`` of ``topology.num_proxies`` × ``system.policy`` — and
+:func:`~repro.scenario.compile.expand_points` turns it into the sweep
+points, exactly the machinery a YAML scenario file uses.
+
 Two readings fall out:
 
 * **load relief compounds with prefetching** — at one overloaded proxy
@@ -26,20 +33,12 @@ proxy counts.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.experiments.base import Experiment, ExperimentResult, register
-from repro.network.topology import TopologyConfig
-from repro.sim.config import SimulationConfig
-from repro.sim.sweep import SweepPoint
-from repro.workload.sessions import WorkloadSpec
+from repro.scenario import expand_points, parse_scenario
 
 __all__ = ["ShardingExperiment"]
 
-POLICIES = {
-    "none": {"policy": "none"},
-    "threshold-dynamic": {"policy": "threshold-dynamic"},
-}
+POLICIES = ("none", "threshold-dynamic")
 
 
 @register
@@ -51,24 +50,36 @@ class ShardingExperiment(Experiment):
     #: proxy counts to sweep (overridden by the CLI ``--proxies`` flag)
     proxy_counts: tuple[int, ...] | None = None
 
-    def base_config(self, *, fast: bool) -> SimulationConfig:
-        return SimulationConfig(
-            workload=WorkloadSpec(
-                num_clients=8,
-                request_rate=40.0,
-                catalog_size=400,
-                zipf_exponent=0.9,
-                follow_probability=0.7,
-            ),
-            bandwidth=30.0,  # one proxy runs hot; the sweep relieves it
-            cache_policy="lru",
-            cache_capacity=40,
-            predictor="true-distribution",
-            policy="none",
-            duration=120.0 if fast else 400.0,
-            warmup=24.0 if fast else 60.0,
-            seed=21,
-        )
+    def scenario_document(self, *, fast: bool) -> dict:
+        """The grid as a scenario document (what a YAML file would hold)."""
+        return {
+            "name": "sharding-grid",
+            "description": "proxy-count x policy grid, client-affinity routing",
+            "workload": {
+                "num_clients": 8,
+                "request_rate": 40.0,
+                "catalog_size": 400,
+                "zipf_exponent": 0.9,
+                "follow_probability": 0.7,
+            },
+            "system": {
+                "bandwidth": 30.0,  # one proxy runs hot; the sweep relieves it
+                "cache_policy": "lru",
+                "cache_capacity": 40,
+                "predictor": "true-distribution",
+                "policy": "none",
+                "duration": 120.0 if fast else 400.0,
+                "warmup": 24.0 if fast else 60.0,
+                "seed": 21,
+            },
+            "sweep": {
+                "replications": 2 if fast else 3,
+                "grid": {
+                    "topology.num_proxies": list(self._counts(fast=fast)),
+                    "system.policy": list(POLICIES),
+                },
+            },
+        }
 
     def _counts(self, *, fast: bool) -> tuple[int, ...]:
         if self.proxy_counts is not None:
@@ -80,28 +91,17 @@ class ShardingExperiment(Experiment):
             experiment_id=self.experiment_id,
             title="Multi-proxy sharding: access time vs proxy count",
         )
-        base = self.base_config(fast=fast)
+        spec = parse_scenario(
+            self.scenario_document(fast=fast), source="<sharding experiment>"
+        )
+        points = expand_points(spec)
+        base = points[0].config
         counts = self._counts(fast=fast)
-        reps = 2 if fast else 3
-        points = [
-            SweepPoint(
-                key=f"P={proxies}/{name}",
-                config=replace(
-                    base,
-                    topology=TopologyConfig(num_proxies=proxies),
-                    **overrides,
-                ),
-                replications=reps,
-                meta={"proxies": proxies, "policy": name},
-            )
-            for proxies in counts
-            for name, overrides in POLICIES.items()
-        ]
         outcomes = self.engine.run(points)
         result.sweeps.append(
             outcomes.to_sweep(
                 "mean_access_time",
-                x="proxies",
+                x="num_proxies",
                 by="policy",
                 title="mean access time t̄ vs proxy count (client-affinity)",
                 x_label="num_proxies",
@@ -115,7 +115,7 @@ class ShardingExperiment(Experiment):
         )
         rows = [
             [
-                pt.meta["proxies"],
+                pt.meta["num_proxies"],
                 pt.meta["policy"],
                 outcomes.mean(pt.key, "mean_access_time"),
                 outcomes.mean(pt.key, "hit_ratio"),
@@ -133,35 +133,37 @@ class ShardingExperiment(Experiment):
         )
 
         # Routing comparison at the largest tier: how do the shards load?
+        # Same machinery — a second scenario grid over topology.routing.
         largest = max(counts)
         if largest > 1:
-            routings = ("client-affinity", "item-hash")
-            # one batched run: both points share the engine's worker pool
-            sharded = self.engine.run(
-                [
-                    SweepPoint(
-                        key=f"routing={routing}",
-                        config=replace(
-                            base,
-                            policy="threshold-dynamic",
-                            topology=TopologyConfig(
-                                num_proxies=largest, routing=routing
-                            ),
-                        ),
-                        replications=1,
-                    )
-                    for routing in routings
-                ]
+            routing_spec = parse_scenario(
+                {
+                    **self.scenario_document(fast=fast),
+                    "name": "sharding-routing",
+                    "description": "routing comparison at the largest tier",
+                    "topology": {"num_proxies": largest},
+                    "sweep": {
+                        "replications": 1,
+                        "grid": {
+                            "system.policy": ["threshold-dynamic"],
+                            "topology.routing": ["client-affinity", "item-hash"],
+                        },
+                    },
+                },
+                source="<sharding experiment>",
             )
+            routing_points = expand_points(routing_spec)
+            # one batched run: both points share the engine's worker pool
+            sharded = self.engine.run(routing_points)
             routing_rows = []
-            for routing in routings:
-                output = sharded.raw[f"routing={routing}"][0]
+            for pt in routing_points:
+                output = sharded.raw[pt.key][0]
                 shares = _traffic_shares(output)
                 routing_rows.append(
                     [
-                        routing,
-                        sharded.mean(f"routing={routing}", "mean_access_time"),
-                        sharded.mean(f"routing={routing}", "utilization"),
+                        pt.meta["routing"],
+                        sharded.mean(pt.key, "mean_access_time"),
+                        sharded.mean(pt.key, "utilization"),
                         max(shares) / (1.0 / largest),  # 1.0 = perfectly even
                         " ".join(f"{s:.2f}" for s in shares),
                     ]

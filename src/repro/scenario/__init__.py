@@ -1,0 +1,35 @@
+"""Declarative scenario engine: YAML/JSON scenarios → validated schema →
+compiled :class:`~repro.sim.config.SimulationConfig` sweep grids.
+
+The schema layer (:mod:`repro.scenario.schema`) parses and validates a
+scenario document with precise error paths; the compile layer
+(:mod:`repro.scenario.compile`) turns a validated
+:class:`~repro.scenario.schema.ScenarioSpec` into core config objects and
+expands its sweep grid into :class:`~repro.sim.sweep.SweepPoint` lists.
+"""
+
+from repro.scenario.compile import (
+    apply_override,
+    compile_config,
+    compile_topology,
+    compile_workload,
+    expand_points,
+)
+from repro.scenario.schema import (
+    ScenarioError,
+    ScenarioSpec,
+    load_scenario,
+    parse_scenario,
+)
+
+__all__ = [
+    "ScenarioError",
+    "ScenarioSpec",
+    "load_scenario",
+    "parse_scenario",
+    "compile_config",
+    "compile_topology",
+    "compile_workload",
+    "apply_override",
+    "expand_points",
+]

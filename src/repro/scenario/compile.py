@@ -1,0 +1,281 @@
+"""Compile validated scenarios into core config objects and sweep grids.
+
+The schema layer (:mod:`repro.scenario.schema`) guarantees types and
+ranges; this layer is a thin, mechanical translation:
+
+* :func:`compile_workload` / :func:`compile_topology` /
+  :func:`compile_config` — build :class:`~repro.workload.sessions.WorkloadSpec`,
+  :class:`~repro.network.topology.TopologyConfig` and
+  :class:`~repro.sim.config.SimulationConfig` passing **only** the fields
+  the scenario actually set (``None`` in the schema means "inherit the
+  core default"), so core defaults stay defined in exactly one place.
+* :func:`apply_override` — set one dotted-path field
+  (``system.policy``, ``topology.cooperation.mode``, ...) on a compiled
+  config immutably via nested :func:`dataclasses.replace`.
+* :func:`expand_points` — cartesian-product the scenario's sweep grid
+  (declaration order) into :class:`~repro.sim.sweep.SweepPoint` lists
+  ready for :meth:`~repro.sim.sweep.SweepExecutor.run`.
+
+Core-level :class:`~repro.errors.ConfigurationError` raised while a
+scenario value is being applied (cross-field rules the schema cannot see,
+e.g. ``duration must exceed warmup``) is re-raised as a
+:class:`~repro.scenario.schema.ScenarioError` carrying the scenario path
+responsible, so every failure an author can cause points back into their
+document.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.network.topology import CooperationConfig, TopologyConfig
+from repro.scenario.schema import (
+    PhaseSchema,
+    ScenarioError,
+    ScenarioSpec,
+    TopologySchema,
+    WorkloadSchema,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.sweep import SweepPoint
+from repro.workload.phases import PhaseSpec
+from repro.workload.sessions import WorkloadSpec
+
+__all__ = [
+    "compile_workload",
+    "compile_topology",
+    "compile_config",
+    "apply_override",
+    "expand_points",
+]
+
+
+def _set_fields(target: dict[str, Any], schema: Any, fields: Sequence[str]) -> None:
+    """Copy every non-None schema field into a constructor-kwarg dict."""
+    for name in fields:
+        value = getattr(schema, name)
+        if value is not None:
+            target[name] = value
+
+
+def _compile_phase(phase: PhaseSchema) -> PhaseSpec:
+    return PhaseSpec(
+        duration=phase.duration,
+        rate_multiplier=phase.rate_multiplier,
+        zipf_exponent=phase.zipf_exponent,
+        popularity_shift=phase.popularity_shift,
+    )
+
+
+def compile_workload(schema: WorkloadSchema, *, path: str = "workload") -> WorkloadSpec:
+    """Build a :class:`WorkloadSpec` from the scenario's workload section."""
+    kwargs: dict[str, Any] = {}
+    _set_fields(
+        kwargs,
+        schema,
+        (
+            "num_clients",
+            "request_rate",
+            "catalog_size",
+            "zipf_exponent",
+            "follow_probability",
+            "mean_item_size",
+        ),
+    )
+    if schema.phases is not None:
+        kwargs["phases"] = tuple(_compile_phase(p) for p in schema.phases)
+    try:
+        return WorkloadSpec(**kwargs)
+    except ConfigurationError as exc:
+        raise ScenarioError(path, str(exc)) from exc
+
+
+def compile_topology(schema: TopologySchema, *, path: str = "topology") -> TopologyConfig:
+    """Build a :class:`TopologyConfig` from the scenario's topology section."""
+    kwargs: dict[str, Any] = {}
+    _set_fields(kwargs, schema, ("num_proxies", "routing", "hash_vnodes"))
+    if schema.cooperation is not None:
+        coop_kwargs: dict[str, Any] = {}
+        _set_fields(
+            coop_kwargs,
+            schema.cooperation,
+            ("mode", "peer_bandwidth", "probe_latency", "admit_remote_hits"),
+        )
+        try:
+            kwargs["cooperation"] = CooperationConfig(**coop_kwargs)
+        except ConfigurationError as exc:
+            raise ScenarioError(f"{path}.cooperation", str(exc)) from exc
+    try:
+        return TopologyConfig(**kwargs)
+    except ConfigurationError as exc:
+        raise ScenarioError(path, str(exc)) from exc
+
+
+def compile_config(spec: ScenarioSpec) -> SimulationConfig:
+    """Compile a whole scenario into its base :class:`SimulationConfig`.
+
+    Sweep-grid overrides are *not* applied here — the base config is the
+    grid's origin; :func:`expand_points` derives every grid point from it
+    with :func:`apply_override`.
+    """
+    kwargs: dict[str, Any] = {
+        "workload": compile_workload(spec.workload),
+        "topology": compile_topology(spec.topology),
+    }
+    _set_fields(
+        kwargs,
+        spec.system,
+        (
+            "bandwidth",
+            "cache_policy",
+            "cache_capacity",
+            "predictor",
+            "policy",
+            "assumed_hit_ratio",
+            "duration",
+            "warmup",
+            "seed",
+            "prediction_limit",
+            "client_backend",
+        ),
+    )
+    if spec.system.predictor_params is not None:
+        kwargs["predictor_params"] = dict(spec.system.predictor_params)
+    if spec.system.policy_params is not None:
+        kwargs["policy_params"] = dict(spec.system.policy_params)
+    try:
+        return SimulationConfig(**kwargs)
+    except ConfigurationError as exc:
+        raise ScenarioError("system", str(exc)) from exc
+
+
+# ----------------------------------------------------------------------
+# Dotted-path overrides + grid expansion
+# ----------------------------------------------------------------------
+def _replace_field(obj: Any, name: str, value: Any, *, path: str) -> Any:
+    if not dataclasses.is_dataclass(obj):
+        raise ScenarioError(
+            path, f"cannot descend into non-config value {obj!r}"
+        )
+    if name not in {f.name for f in dataclasses.fields(obj)}:
+        known = sorted(f.name for f in dataclasses.fields(obj))
+        raise ScenarioError(
+            path, f"unknown config field {name!r}; known: {known}"
+        )
+    try:
+        return dataclasses.replace(obj, **{name: value})
+    except ConfigurationError as exc:
+        raise ScenarioError(path, str(exc)) from exc
+
+
+def apply_override(
+    config: SimulationConfig, dotted: str, value: Any, *, path: str | None = None
+) -> SimulationConfig:
+    """Return a copy of ``config`` with one dotted-path field replaced.
+
+    ``dotted`` is rooted at a scenario section: ``system.<field>`` sets a
+    :class:`SimulationConfig` field directly, ``workload.<field>`` /
+    ``topology.<field>`` (arbitrarily nested, e.g.
+    ``topology.cooperation.mode``) rebuild the nested dataclass chain via
+    :func:`dataclasses.replace`, revalidating at every level.  ``path``
+    labels errors (defaults to ``dotted`` itself).
+    """
+    label = path if path is not None else dotted
+    parts = dotted.split(".")
+    root, rest = parts[0], parts[1:]
+    if not rest:
+        raise ScenarioError(
+            label, f"override path needs '<section>.<field>', got {dotted!r}"
+        )
+    if root == "system":
+        chain_root = config
+        chain_rest = rest
+    elif root in ("workload", "topology"):
+        chain_root = config
+        chain_rest = parts  # descend through the config's own field
+    else:
+        raise ScenarioError(
+            label,
+            f"override must be rooted at workload/system/topology, got {dotted!r}",
+        )
+    # Walk down collecting the objects, then rebuild bottom-up.
+    objs = [chain_root]
+    for name in chain_rest[:-1]:
+        obj = objs[-1]
+        if not dataclasses.is_dataclass(obj) or name not in {
+            f.name for f in dataclasses.fields(obj)
+        }:
+            raise ScenarioError(label, f"unknown config path {dotted!r}")
+        objs.append(getattr(obj, name))
+    rebuilt = _replace_field(objs[-1], chain_rest[-1], value, path=label)
+    for obj, name in zip(reversed(objs[:-1]), reversed(chain_rest[:-1])):
+        rebuilt = _replace_field(obj, name, rebuilt, path=label)
+    return rebuilt
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def expand_points(
+    spec: ScenarioSpec,
+    *,
+    base_config: SimulationConfig | None = None,
+    replications: int | None = None,
+) -> list[SweepPoint]:
+    """Expand a scenario's sweep grid into sweep points.
+
+    The cartesian product follows grid *declaration order* (first key
+    varies slowest).  Point keys are ``leaf=value`` pairs joined with
+    ``/`` (e.g. ``policy=none/num_proxies=2``); each point's ``meta``
+    carries ``{leaf: value}`` for every grid axis plus
+    ``{"scenario": spec.name}``.  A scenario without a grid yields one
+    point keyed by the scenario name.
+
+    ``base_config`` substitutes a pre-adjusted base (e.g. an experiment's
+    ``fast`` variant); ``replications`` overrides the sweep section's.
+    """
+    config = base_config if base_config is not None else compile_config(spec)
+    reps = replications if replications is not None else spec.sweep.replications
+    base_seed = spec.sweep.base_seed
+    grid = spec.sweep.grid
+    if not grid:
+        return [
+            SweepPoint(
+                key=spec.name,
+                config=config,
+                replications=reps,
+                base_seed=base_seed,
+                meta={"scenario": spec.name},
+            )
+        ]
+    axes = list(grid.items())
+    points: list[SweepPoint] = []
+    combos: list[list[tuple[str, Any]]] = [[]]
+    for dotted, values in axes:
+        combos = [combo + [(dotted, v)] for combo in combos for v in values]
+    for combo in combos:
+        point_config = config
+        meta: dict[str, Any] = {"scenario": spec.name}
+        key_parts: list[str] = []
+        for dotted, value in combo:
+            point_config = apply_override(
+                point_config, dotted, value, path=f"sweep.grid.{dotted}"
+            )
+            leaf = dotted.rsplit(".", 1)[-1]
+            meta[leaf] = value
+            key_parts.append(f"{leaf}={_format_value(value)}")
+        points.append(
+            SweepPoint(
+                key="/".join(key_parts),
+                config=point_config,
+                replications=reps,
+                base_seed=base_seed,
+                meta=meta,
+            )
+        )
+    return points

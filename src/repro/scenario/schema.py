@@ -1,0 +1,472 @@
+"""Validated declarative scenario schema (YAML/JSON → dataclasses).
+
+A scenario document is a mapping with up to five sections::
+
+    name: flash-crowd              # required
+    description: ...               # optional free text
+    workload:                      # -> WorkloadSpec fields
+      num_clients: 8
+      request_rate: 40.0
+      phases:                      # -> PhaseSpec list
+        - {duration: 60, rate_multiplier: 1.0}
+        - {duration: 20, rate_multiplier: 4.0}
+    system:                        # -> SimulationConfig fields
+      policy: threshold-dynamic
+      cache_capacity: 40
+    topology:                      # -> TopologyConfig fields
+      num_proxies: 2
+      cooperation: {mode: owner-probe}
+    sweep:                         # optional grid expansion
+      replications: 3
+      base_seed: 17
+      grid:
+        system.policy: [none, threshold-dynamic]
+        topology.num_proxies: [1, 2, 4]
+
+Validation philosophy: **every** mistake — wrong type, out-of-range
+value, unknown key, bad enum name — raises :class:`ScenarioError` whose
+message starts with the dotted path of the offending field
+(``workload.phases[1].duration: ...``), never a bare stack trace from
+deep inside the core.  Fields left out inherit the core dataclass
+defaults at compile time (the schema stores ``None``, the compiler omits
+the constructor argument), so defaults live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.network.topology import COOPERATION_MODES, ROUTING_NAMES
+from repro.sim.config import CLIENT_BACKENDS, POLICY_NAMES, PREDICTOR_NAMES
+
+__all__ = [
+    "ScenarioError",
+    "PhaseSchema",
+    "WorkloadSchema",
+    "CooperationSchema",
+    "TopologySchema",
+    "SystemSchema",
+    "SweepSchema",
+    "ScenarioSpec",
+    "parse_scenario",
+    "load_scenario",
+]
+
+#: cache replacement policies accepted by ``system.cache_policy``
+#: (mirrors :data:`repro.cache.interaction.CACHE_POLICIES`, imported
+#: lazily at validation time so the schema module stays import-light)
+def _cache_policy_names() -> tuple[str, ...]:
+    from repro.cache.interaction import CACHE_POLICIES
+
+    return tuple(sorted(CACHE_POLICIES))
+
+
+class ScenarioError(ConfigurationError):
+    """A scenario document failed validation.
+
+    ``path`` is the dotted location of the offending field
+    (``workload.phases[1].duration``); the message always leads with it.
+    """
+
+    def __init__(self, path: str, problem: str) -> None:
+        self.path = path
+        super().__init__(f"{path}: {problem}" if path else problem)
+
+
+# ----------------------------------------------------------------------
+# Cursor-based validation plumbing
+# ----------------------------------------------------------------------
+class _Node:
+    """Validation cursor over one mapping of the document.
+
+    ``take(key, parse)`` consumes a key (parsing its value with the
+    child's path attached); ``finish()`` afterwards rejects any keys the
+    schema never consumed, listing what would have been allowed — the
+    error a typo'd field name gets.
+    """
+
+    def __init__(self, data: Any, path: str) -> None:
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                path or "<document>",
+                f"expected a mapping, got {type(data).__name__}",
+            )
+        self.data = data
+        self.path = path
+        self._taken: set[str] = set()
+
+    def child_path(self, key: str) -> str:
+        return f"{self.path}.{key}" if self.path else key
+
+    def take(self, key: str, parse: Callable[[Any, str], Any], default=None):
+        self._taken.add(key)
+        if key not in self.data:
+            return default
+        return parse(self.data[key], self.child_path(key))
+
+    def require(self, key: str, parse: Callable[[Any, str], Any]):
+        self._taken.add(key)
+        if key not in self.data:
+            raise ScenarioError(
+                self.child_path(key), "required field is missing"
+            )
+        return parse(self.data[key], self.child_path(key))
+
+    def finish(self) -> None:
+        unknown = sorted(set(map(str, self.data)) - self._taken)
+        if unknown:
+            raise ScenarioError(
+                self.path or "<document>",
+                f"unknown key(s) {unknown}; allowed: {sorted(self._taken)}",
+            )
+
+
+def _str(value: Any, path: str) -> str:
+    if not isinstance(value, str):
+        raise ScenarioError(path, f"expected a string, got {value!r}")
+    return value
+
+
+def _bool(value: Any, path: str) -> bool:
+    if not isinstance(value, bool):
+        raise ScenarioError(path, f"expected a boolean, got {value!r}")
+    return value
+
+
+def _int(value: Any, path: str) -> int:
+    # bool is an int subclass; "num_clients: true" must not validate.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(path, f"expected an integer, got {value!r}")
+    return value
+
+
+def _float(value: Any, path: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(path, f"expected a number, got {value!r}")
+    return float(value)
+
+
+def _positive_int(value: Any, path: str) -> int:
+    parsed = _int(value, path)
+    if parsed < 1:
+        raise ScenarioError(path, f"must be >= 1, got {parsed}")
+    return parsed
+
+
+def _positive_float(value: Any, path: str) -> float:
+    parsed = _float(value, path)
+    if parsed <= 0:
+        raise ScenarioError(path, f"must be > 0, got {parsed!r}")
+    return parsed
+
+
+def _nonnegative_float(value: Any, path: str) -> float:
+    parsed = _float(value, path)
+    if parsed < 0:
+        raise ScenarioError(path, f"must be >= 0, got {parsed!r}")
+    return parsed
+
+
+def _fraction(value: Any, path: str) -> float:
+    parsed = _float(value, path)
+    if not 0.0 <= parsed <= 1.0:
+        raise ScenarioError(path, f"must be in [0, 1], got {parsed!r}")
+    return parsed
+
+
+def _choice(names: Sequence[str]) -> Callable[[Any, str], str]:
+    def parse(value: Any, path: str) -> str:
+        parsed = _str(value, path)
+        if parsed not in names:
+            raise ScenarioError(
+                path, f"unknown name {parsed!r}; known: {tuple(names)}"
+            )
+        return parsed
+
+    return parse
+
+
+def _params(value: Any, path: str) -> dict[str, Any]:
+    """Free-form ``*_params`` mapping (string keys, scalar values)."""
+    if not isinstance(value, Mapping):
+        raise ScenarioError(path, f"expected a mapping, got {value!r}")
+    out: dict[str, Any] = {}
+    for key, val in value.items():
+        if not isinstance(key, str):
+            raise ScenarioError(path, f"parameter names must be strings, got {key!r}")
+        if val is not None and not isinstance(val, (bool, int, float, str)):
+            raise ScenarioError(
+                f"{path}.{key}", f"expected a scalar, got {val!r}"
+            )
+        out[key] = val
+    return out
+
+
+# ----------------------------------------------------------------------
+# Schema dataclasses (None = inherit the core default at compile time)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhaseSchema:
+    duration: float
+    rate_multiplier: float = 1.0
+    zipf_exponent: float | None = None
+    popularity_shift: int = 0
+
+
+@dataclass(frozen=True)
+class WorkloadSchema:
+    num_clients: int | None = None
+    request_rate: float | None = None
+    catalog_size: int | None = None
+    zipf_exponent: float | None = None
+    follow_probability: float | None = None
+    mean_item_size: float | None = None
+    phases: tuple[PhaseSchema, ...] | None = None
+
+
+@dataclass(frozen=True)
+class CooperationSchema:
+    mode: str | None = None
+    peer_bandwidth: float | None = None
+    probe_latency: float | None = None
+    admit_remote_hits: bool | None = None
+
+
+@dataclass(frozen=True)
+class TopologySchema:
+    num_proxies: int | None = None
+    routing: str | None = None
+    hash_vnodes: int | None = None
+    cooperation: CooperationSchema | None = None
+
+
+@dataclass(frozen=True)
+class SystemSchema:
+    bandwidth: float | None = None
+    cache_policy: str | None = None
+    cache_capacity: int | None = None
+    predictor: str | None = None
+    predictor_params: Mapping[str, Any] | None = None
+    policy: str | None = None
+    policy_params: Mapping[str, Any] | None = None
+    assumed_hit_ratio: float | None = None
+    duration: float | None = None
+    warmup: float | None = None
+    seed: int | None = None
+    prediction_limit: int | None = None
+    client_backend: str | None = None
+
+
+@dataclass(frozen=True)
+class SweepSchema:
+    replications: int = 3
+    base_seed: int | None = None
+    #: dotted config path -> list of values, grid declaration order
+    grid: Mapping[str, tuple[Any, ...]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One validated scenario document."""
+
+    name: str
+    description: str = ""
+    workload: WorkloadSchema = field(default_factory=WorkloadSchema)
+    system: SystemSchema = field(default_factory=SystemSchema)
+    topology: TopologySchema = field(default_factory=TopologySchema)
+    sweep: SweepSchema = field(default_factory=SweepSchema)
+    #: where the document came from ("<dict>" for in-memory specs)
+    source: str = "<dict>"
+
+
+# ----------------------------------------------------------------------
+# Section parsers
+# ----------------------------------------------------------------------
+def _parse_phase(data: Any, path: str) -> PhaseSchema:
+    node = _Node(data, path)
+    phase = PhaseSchema(
+        duration=node.require("duration", _positive_float),
+        rate_multiplier=node.take("rate_multiplier", _positive_float, 1.0),
+        zipf_exponent=node.take("zipf_exponent", _nonnegative_float),
+        popularity_shift=node.take("popularity_shift", _int, 0),
+    )
+    node.finish()
+    return phase
+
+
+def _parse_phases(value: Any, path: str) -> tuple[PhaseSchema, ...]:
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+        raise ScenarioError(path, f"expected a list of phases, got {value!r}")
+    if not value:
+        raise ScenarioError(path, "needs at least one phase")
+    return tuple(
+        _parse_phase(entry, f"{path}[{i}]") for i, entry in enumerate(value)
+    )
+
+
+def _parse_workload(data: Any, path: str) -> WorkloadSchema:
+    node = _Node(data, path)
+    workload = WorkloadSchema(
+        num_clients=node.take("num_clients", _positive_int),
+        request_rate=node.take("request_rate", _positive_float),
+        catalog_size=node.take("catalog_size", _positive_int),
+        zipf_exponent=node.take("zipf_exponent", _nonnegative_float),
+        follow_probability=node.take("follow_probability", _fraction),
+        mean_item_size=node.take("mean_item_size", _positive_float),
+        phases=node.take("phases", _parse_phases),
+    )
+    node.finish()
+    return workload
+
+
+def _parse_cooperation(data: Any, path: str) -> CooperationSchema:
+    node = _Node(data, path)
+    coop = CooperationSchema(
+        mode=node.take("mode", _choice(COOPERATION_MODES)),
+        peer_bandwidth=node.take("peer_bandwidth", _positive_float),
+        probe_latency=node.take("probe_latency", _nonnegative_float),
+        admit_remote_hits=node.take("admit_remote_hits", _bool),
+    )
+    node.finish()
+    return coop
+
+
+def _parse_topology(data: Any, path: str) -> TopologySchema:
+    node = _Node(data, path)
+    topology = TopologySchema(
+        num_proxies=node.take("num_proxies", _positive_int),
+        routing=node.take("routing", _choice(ROUTING_NAMES)),
+        hash_vnodes=node.take("hash_vnodes", _positive_int),
+        cooperation=node.take("cooperation", _parse_cooperation),
+    )
+    node.finish()
+    return topology
+
+
+def _parse_system(data: Any, path: str) -> SystemSchema:
+    node = _Node(data, path)
+    system = SystemSchema(
+        bandwidth=node.take("bandwidth", _positive_float),
+        cache_policy=node.take("cache_policy", _choice(_cache_policy_names())),
+        cache_capacity=node.take("cache_capacity", _positive_int),
+        predictor=node.take("predictor", _choice(PREDICTOR_NAMES)),
+        predictor_params=node.take("predictor_params", _params),
+        policy=node.take("policy", _choice(POLICY_NAMES)),
+        policy_params=node.take("policy_params", _params),
+        assumed_hit_ratio=node.take("assumed_hit_ratio", _fraction),
+        duration=node.take("duration", _positive_float),
+        warmup=node.take("warmup", _nonnegative_float),
+        seed=node.take("seed", _int),
+        prediction_limit=node.take("prediction_limit", _positive_int),
+        client_backend=node.take("client_backend", _choice(CLIENT_BACKENDS)),
+    )
+    node.finish()
+    return system
+
+
+#: config sections a sweep-grid path may root at
+_GRID_ROOTS = ("workload", "system", "topology")
+
+
+def _parse_grid(value: Any, path: str) -> dict[str, tuple[Any, ...]]:
+    if not isinstance(value, Mapping):
+        raise ScenarioError(path, f"expected a mapping, got {value!r}")
+    grid: dict[str, tuple[Any, ...]] = {}
+    for key, values in value.items():
+        key_path = f"{path}.{key}"
+        if not isinstance(key, str) or not key:
+            raise ScenarioError(path, f"grid keys must be dotted paths, got {key!r}")
+        root = key.split(".", 1)[0]
+        if root not in _GRID_ROOTS or "." not in key:
+            raise ScenarioError(
+                key_path,
+                f"grid paths must be '<section>.<field>' with section in "
+                f"{_GRID_ROOTS}, got {key!r}",
+            )
+        if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
+            raise ScenarioError(
+                key_path, f"expected a list of values, got {values!r}"
+            )
+        if not values:
+            raise ScenarioError(key_path, "needs at least one value")
+        for i, entry in enumerate(values):
+            if entry is not None and not isinstance(
+                entry, (bool, int, float, str)
+            ):
+                raise ScenarioError(
+                    f"{key_path}[{i}]", f"expected a scalar, got {entry!r}"
+                )
+        grid[key] = tuple(values)
+    return grid
+
+
+def _parse_sweep(data: Any, path: str) -> SweepSchema:
+    node = _Node(data, path)
+    sweep = SweepSchema(
+        replications=node.take("replications", _positive_int, 3),
+        base_seed=node.take("base_seed", _int),
+        grid=node.take("grid", _parse_grid, {}),
+    )
+    node.finish()
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def parse_scenario(data: Any, *, source: str = "<dict>") -> ScenarioSpec:
+    """Validate a scenario document (any mapping) into a :class:`ScenarioSpec`.
+
+    Raises :class:`ScenarioError` with the dotted path of the first
+    offending field; a valid document round-trips losslessly.
+    """
+    node = _Node(data, "")
+    spec = ScenarioSpec(
+        name=node.require("name", _str),
+        description=node.take("description", _str, ""),
+        workload=node.take("workload", _parse_workload, WorkloadSchema()),
+        system=node.take("system", _parse_system, SystemSchema()),
+        topology=node.take("topology", _parse_topology, TopologySchema()),
+        sweep=node.take("sweep", _parse_sweep, SweepSchema()),
+        source=source,
+    )
+    node.finish()
+    if not spec.name:
+        raise ScenarioError("name", "must not be empty")
+    return spec
+
+
+def load_scenario(path: str | Path) -> ScenarioSpec:
+    """Load and validate a scenario file (``.yaml``/``.yml``/``.json``)."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ScenarioError(str(path), f"cannot read scenario file: {exc}") from exc
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(str(path), f"invalid JSON: {exc}") from exc
+    elif suffix in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - PyYAML is baked in
+            raise ScenarioError(
+                str(path), "YAML scenarios need PyYAML (use .json instead)"
+            ) from exc
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ScenarioError(str(path), f"invalid YAML: {exc}") from exc
+    else:
+        raise ScenarioError(
+            str(path),
+            f"unknown scenario suffix {suffix!r} (expected .yaml/.yml/.json)",
+        )
+    return parse_scenario(data, source=str(path))

@@ -154,3 +154,9 @@ class SimulationConfig:
             raise ConfigurationError(
                 "threshold-static needs assumed_hit_ratio (or use threshold-dynamic)"
             )
+        if self.trace_path is not None and self.workload.phases is not None:
+            raise ConfigurationError(
+                "trace_path replays a recorded request schedule, which "
+                "already fixes all arrival times — workload.phases cannot "
+                "reshape it (record the trace from a phased spec instead)"
+            )

@@ -29,6 +29,7 @@ from typing import Optional, Sequence
 from repro.des.environment import Environment
 from repro.des.monitors import Tally
 from repro.network.link import SharedLink
+from repro.sim.kpis import KPIShard, QuantileSketch
 
 __all__ = [
     "MetricsCollector",
@@ -148,6 +149,12 @@ class MetricsCollector:
         self._t_start: Optional[float] = 0.0 if self._measuring else None
         self._busy_start = 0.0
         self._retrieval_time_accum = 0.0
+        # KPI feed (PR 8): access-time tail sketch + byte accounting.
+        # Pure accumulation — no RNG draws, no event scheduling — so
+        # enabling it cannot perturb a run's bit-exact behaviour.
+        self.access_sketch = QuantileSketch()
+        self._request_bytes = 0.0
+        self._hit_bytes = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -185,15 +192,19 @@ class MetricsCollector:
         access_time: float,
         tagged_hit: bool = False,
         issued_at: Optional[float] = None,
+        size: float = 0.0,
     ) -> None:
         if not self._in_window(issued_at):
             return
         self._requests += 1
         if hit:
             self._hits += 1
+            self._hit_bytes += size
         if tagged_hit:
             self._tagged_hits += 1
+        self._request_bytes += size
         self.access_time.record(access_time)
+        self.access_sketch.record(access_time)
 
     def record_prefetch_issued(self, count: int = 1) -> None:
         if not self._measuring:
@@ -236,6 +247,27 @@ class MetricsCollector:
             self._remote_hits += 1
 
     # ------------------------------------------------------------------
+    def kpi_shard(self, node_id: int = 0) -> KPIShard:
+        """This shard's raw KPI feed (sketch + counts + busy interval).
+
+        Safe to call alongside :meth:`finalize` — both only *read*
+        accumulated state (the server's busy-time advance is idempotent
+        at a fixed ``env.now``).
+        """
+        if self._t_start is None:
+            raise RuntimeError("kpi_shard() before measurement started")
+        self.link.server._advance()
+        return KPIShard(
+            node_id=node_id,
+            sketch=self.access_sketch,
+            requests=self._requests,
+            hits=self._hits,
+            request_bytes=self._request_bytes,
+            hit_bytes=self._hit_bytes,
+            busy=self.link.server._busy_time - self._busy_start,
+            elapsed=self.env.now - self._t_start,
+        )
+
     def finalize(self) -> SimulationMetrics:
         if self._t_start is None:
             raise RuntimeError("finalize() before measurement started")

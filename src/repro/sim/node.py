@@ -404,6 +404,7 @@ class ProxyNode:
                     access_time=0.0,
                     tagged_hit=outcome.kind == "tagged_hit",
                     issued_at=t0,
+                    size=size,
                 )
             elif item in table:
                 # A fetch for this item — demand or prefetch — is
@@ -421,7 +422,8 @@ class ProxyNode:
                     else:
                         yield from demand_fetch(item)
                 collector.record_request(
-                    hit=False, access_time=env.now - t0, issued_at=t0
+                    hit=False, access_time=env.now - t0, issued_at=t0,
+                    size=size,
                 )
             else:
                 targets = (
@@ -434,7 +436,8 @@ class ProxyNode:
                     # node): the PR-4 demand path, unchanged.
                     yield from demand_fetch(item)
                 collector.record_request(
-                    hit=False, access_time=env.now - t0, issued_at=t0
+                    hit=False, access_time=env.now - t0, issued_at=t0,
+                    size=size,
                 )
             # Plan speculative fetches triggered by this request.  The
             # planner consults the fetch table (via the controller), so an
@@ -482,6 +485,55 @@ class ProxyNode:
             # request rate is unaffected by congestion or prefetching —
             # exactly the paper's §2.1 assumption.
             self.env.process(handle_request(item))
+
+    def phased_client_process(
+        self,
+        client_id: int,
+        controller,
+        *,
+        schedule,
+        item_streams,
+    ):
+        """Phase-aware synthetic driver (``WorkloadSpec.phases`` set).
+
+        Arrivals form a piecewise-homogeneous Poisson process: gaps are
+        drawn from the phase covering the current time, and a draw that
+        would cross the phase boundary is discarded — the driver sleeps
+        to the boundary (a real event on the loop, ``env.at(end)``) and
+        redraws at the new phase's rate, which is exactly correct by
+        memorylessness.  Items come from the arrival phase's item variant
+        (``item_streams`` is one iterator per variant).
+
+        Arrival times accumulate absolutely (``t = t + gap``) and are
+        awaited via ``env.at(t)``; since ``env.now`` at a wake equals the
+        stored heap time exactly, this schedules heap entries bit-equal
+        to :meth:`client_process`'s ``timeout(gap)`` chain.  With a
+        single phase ``locate`` reports ``end = inf`` — no boundary ever
+        fires, and the run is bit-identical to :meth:`client_process`
+        under a pre-scaled rate (pinned by tests).
+        """
+        sim = self.sim
+        spec = sim.config.workload
+        env = self.env
+        phase_arrivals = spec.make_phase_arrivals(schedule, client_id)
+        arrival_rng = sim.streams.get(f"client{client_id}/arrivals")
+        handle_request = self.request_handler(client_id, controller)
+        variant_of_phase = schedule.variant_of_phase
+        locate = schedule.locate
+
+        t = env.now
+        while True:
+            idx, end = locate(t)
+            t2 = t + phase_arrivals[idx].next_gap(arrival_rng)
+            if t2 > end:
+                t = end
+                yield env.at(end)
+                continue
+            t = t2
+            yield env.at(t)
+            item = next(item_streams[variant_of_phase[idx]])
+            # Open-loop arrivals, same as client_process.
+            env.process(handle_request(item))
 
     def class_process(
         self,
@@ -538,6 +590,71 @@ class ProxyNode:
                     # block, not to the overdraw.
                     return
                 last = call_at(t, dispatch, next(items))
+            if last is not None:
+                yield last
+
+    def phased_class_process(
+        self,
+        rep_id: int,
+        controller,
+        *,
+        schedule,
+        phase_arrivals,
+        arrival_rng,
+        item_streams,
+        block: int = 256,
+    ):
+        """Phase-aware aggregated driver (``WorkloadSpec.phases`` set).
+
+        Same block-scheduling structure as :meth:`class_process`, but gaps
+        are drawn at the current phase's class rate and items from the
+        phase's item variant.  A block that crosses the phase boundary is
+        cut there: arrivals already pushed stay (they are before the
+        boundary), the rest of the block is discarded, and the driver
+        sleeps to the boundary (``env.at(end)``) before redrawing at the
+        new rate — the same memoryless restart as the per-client phased
+        driver, block-sized.  The discarded tail touches only this
+        class's dedicated arrivals stream, so nothing else shifts.
+
+        With a single phase ``end = inf``: no block is ever cut, and the
+        loop body is step-for-step :meth:`class_process` at the scaled
+        rate (pinned bit-identical by tests).
+        """
+        env = self.env
+        handle_request = self.request_handler(rep_id, controller)
+        spawn_process = env.process
+        call_at = env.call_at
+        duration = self.sim.config.duration
+        variant_of_phase = schedule.variant_of_phase
+        locate = schedule.locate
+
+        def dispatch(event):
+            spawn_process(handle_request(event.value))
+
+        t = env.now
+        while True:
+            idx, end = locate(t)
+            items = item_streams[variant_of_phase[idx]]
+            gaps = phase_arrivals[idx].gaps(arrival_rng, block)
+            last = None
+            crossed = False
+            for gap in gaps.tolist():
+                t2 = t + gap
+                if t2 > end:
+                    crossed = True
+                    break
+                if t2 > duration:
+                    return
+                t = t2
+                last = call_at(t, dispatch, next(items))
+            if crossed:
+                if end >= duration:
+                    return
+                t = end
+                # Sleep to the boundary: arrivals already scheduled fire
+                # on their own, and the redraw starts in the new phase.
+                yield env.at(end)
+                continue
             if last is not None:
                 yield last
 

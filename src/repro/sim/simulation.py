@@ -71,6 +71,7 @@ from repro.prefetch import (
     TopKPolicy,
 )
 from repro.sim.config import SimulationConfig
+from repro.sim.kpis import RunKPIs
 from repro.sim.metrics import (
     ClientClassStats,
     MetricsCollector,
@@ -81,6 +82,7 @@ from repro.sim.node import ProxyNode
 from repro.workload.aggregate import AggregateClassSource, partition_client_classes
 from repro.workload.arrivals import PoissonArrivals
 from repro.workload.markov_source import MarkovChainSource
+from repro.workload.phases import PhasedSourceView
 from repro.workload.replay import TraceReplaySource
 from repro.workload.zipf import shared_catalog
 
@@ -218,6 +220,10 @@ class SimulationOutput:
     #: per-class accounting rows of an aggregated-backend run (empty for
     #: the per-client backend); the rows partition the totals exactly.
     client_classes: tuple[ClientClassStats, ...] = ()
+    #: the run's KPI scorecard (tail latencies, byte-hit ratio, per-shard
+    #: utilization, peer-traffic share); raw sums, so replications pool
+    #: exactly via :func:`repro.sim.kpis.aggregate_kpis`.
+    kpis: RunKPIs | None = None
 
     @property
     def prefetch_traffic_share(self) -> float:
@@ -442,21 +448,36 @@ class Simulation:
         topo = config.topology
         spec = config.workload
         handlers: dict[int, object] = {}
+        # Piecewise-stationary time structure (None = the stationary code
+        # path, untouched by the phases feature).
+        schedule = spec.make_schedule()
         for node in self.nodes:
             self.env.process(node.collector.warmup_process())
         # Offered rate per node: a static threshold policy must see the
         # load its *own* uplink carries, not the whole tier's — the tier
         # aggregate would inflate its rho estimate num_proxies-fold.  One
         # proxy keeps the spec's exact aggregate (seed bit-identity).
+        # Under phases the planner sees the *time-averaged* offered load
+        # (single-phase: exactly the multiplied rate).
+        avg_mult = 1.0 if schedule is None else schedule.average_multiplier()
         if topo.num_proxies == 1:
-            node_rates = [spec.request_rate]
+            node_rates = [spec.request_rate * avg_mult]
         else:
             node_rates = [0.0] * topo.num_proxies
             for c in range(self.num_clients):
-                node_rates[topo.home_of(c)] += spec.rate_of(c)
+                node_rates[topo.home_of(c)] += spec.rate_of(c) * avg_mult
         for c in range(self.num_clients):
             node = self.nodes[topo.home_of(c)]
-            source = spec.make_source(c, self.streams)
+            if schedule is None:
+                source = spec.make_source(c, self.streams)
+                phase_sources = None
+            else:
+                # One source per item variant; the predictor sees a
+                # clock-aware view that delegates to the active variant.
+                phase_sources = spec.make_phase_sources(c, self.streams, schedule)
+                source = PhasedSourceView(
+                    phase_sources, schedule, lambda: self.env.now
+                )
             predictor = _build_predictor(config, source)
             estimator = ThresholdEstimator(
                 node.bandwidth, cache_size=float(node.cache_capacity)
@@ -489,8 +510,17 @@ class Simulation:
             self._caches.append(cache)
             if self.replay is not None:
                 handlers[c] = node.request_handler(c, controller)
-            else:
+            elif schedule is None:
                 self.env.process(node.client_process(c, source, controller))
+            else:
+                self.env.process(
+                    node.phased_client_process(
+                        c,
+                        controller,
+                        schedule=schedule,
+                        item_streams=tuple(s.stream() for s in phase_sources),
+                    )
+                )
         if self.replay is not None:
             self.env.process(self._trace_driver(handlers))
 
@@ -509,6 +539,7 @@ class Simulation:
         config = self.config
         topo = config.topology
         spec = config.workload
+        schedule = spec.make_schedule()
         for node in self.nodes:
             self.env.process(node.collector.warmup_process())
         classes = partition_client_classes(spec, topo)
@@ -517,33 +548,74 @@ class Simulation:
         # keeps the spec's exact aggregate; otherwise sum class rates in
         # representative (= lowest client id) order, which for singleton
         # classes is the identical float-summation order as the
-        # per-client loop — same policy inputs bit-for-bit.
+        # per-client loop — same policy inputs bit-for-bit.  Phases scale
+        # the planner's view by the time-averaged multiplier, exactly as
+        # the per-client build does.
+        avg_mult = 1.0 if schedule is None else schedule.average_multiplier()
         if topo.num_proxies == 1:
-            node_rates = [spec.request_rate]
+            node_rates = [spec.request_rate * avg_mult]
         else:
             node_rates = [0.0] * topo.num_proxies
             for cls in classes:
-                node_rates[cls.node_id] += cls.request_rate
+                node_rates[cls.node_id] += cls.request_rate * avg_mult
         for cls in classes:
             node = self.nodes[cls.node_id]
             rep = cls.representative
             label = cls.stream_label
+            phase_sources = phase_arrivals = None
             if cls.singleton:
                 # One member: the exact per-client machinery (and RNG
                 # streams — label == f"client{rep}").
-                source = spec.make_source(rep, self.streams)
-                arrivals = spec.make_arrivals(rep)
+                if schedule is None:
+                    source = spec.make_source(rep, self.streams)
+                    arrivals = spec.make_arrivals(rep)
+                else:
+                    phase_sources = spec.make_phase_sources(
+                        rep, self.streams, schedule
+                    )
+                    phase_arrivals = spec.make_phase_arrivals(schedule, rep)
+                    source = PhasedSourceView(
+                        phase_sources, schedule, lambda: self.env.now
+                    )
             else:
                 # Poisson superposition: k members at rate λ merge into
                 # one Poisson(kλ) arrival process; the merged reference
                 # stream comes from the class source.
-                source = AggregateClassSource(
-                    shared_catalog(cls.catalog_size, cls.zipf_exponent),
-                    num_members=cls.size,
-                    follow_probability=cls.follow_probability,
-                    rng=self.streams.get(f"{label}/items"),
-                )
-                arrivals = PoissonArrivals(cls.request_rate)
+                if schedule is None:
+                    source = AggregateClassSource(
+                        shared_catalog(cls.catalog_size, cls.zipf_exponent),
+                        num_members=cls.size,
+                        follow_probability=cls.follow_probability,
+                        rng=self.streams.get(f"{label}/items"),
+                    )
+                    arrivals = PoissonArrivals(cls.request_rate)
+                else:
+                    # One merged source per item variant, each with its
+                    # own dedicated RNG stream (base variant keeps the
+                    # unphased name).  Per-member chain state is per
+                    # variant — acceptable, since multi-member item
+                    # aggregation is already approximate for q > 0.
+                    catalogs = schedule.variant_catalogs(
+                        catalog_size=cls.catalog_size,
+                        zipf_exponent=cls.zipf_exponent,
+                    )
+                    names = schedule.stream_names(f"{label}/items")
+                    phase_sources = tuple(
+                        AggregateClassSource(
+                            catalog,
+                            num_members=cls.size,
+                            follow_probability=cls.follow_probability,
+                            rng=self.streams.get(name),
+                        )
+                        for catalog, name in zip(catalogs, names)
+                    )
+                    phase_arrivals = tuple(
+                        PoissonArrivals(cls.request_rate * m)
+                        for m in schedule.multipliers
+                    )
+                    source = PhasedSourceView(
+                        phase_sources, schedule, lambda: self.env.now
+                    )
             predictor = _build_predictor(config, source)
             estimator = ThresholdEstimator(
                 node.bandwidth, cache_size=float(node.cache_capacity)
@@ -572,15 +644,27 @@ class Simulation:
             controller.attach_fetch_table(table)
             self.clients.append(controller)
             self._caches.append(cache)
-            self.env.process(
-                node.class_process(
-                    rep,
-                    controller,
-                    arrivals=arrivals,
-                    arrival_rng=self.streams.get(f"{label}/arrivals"),
-                    items=source.stream(),
+            if schedule is None:
+                self.env.process(
+                    node.class_process(
+                        rep,
+                        controller,
+                        arrivals=arrivals,
+                        arrival_rng=self.streams.get(f"{label}/arrivals"),
+                        items=source.stream(),
+                    )
                 )
-            )
+            else:
+                self.env.process(
+                    node.phased_class_process(
+                        rep,
+                        controller,
+                        schedule=schedule,
+                        phase_arrivals=phase_arrivals,
+                        arrival_rng=self.streams.get(f"{label}/arrivals"),
+                        item_streams=tuple(s.stream() for s in phase_sources),
+                    )
+                )
 
     def _trace_driver(self, handlers):
         """Replay driver: one process walking the merged trace in recorded
@@ -644,18 +728,28 @@ class Simulation:
                 self.client_classes, self.clients, self._caches
             )
         )
+        demand_bytes = sum(s.link_demand_bytes for s in shards)
+        prefetch_bytes = sum(s.link_prefetch_bytes for s in shards)
+        peer_bytes = sum(s.peer_bytes for s in shards)
+        kpis = RunKPIs.from_shards(
+            tuple(node.collector.kpi_shard(node.node_id) for node in self.nodes),
+            demand_bytes=demand_bytes,
+            prefetch_bytes=prefetch_bytes,
+            peer_bytes=peer_bytes,
+        )
         return SimulationOutput(
             metrics=metrics,
             cache_stats=[c.stats for c in self._caches],
             controller_stats=[c.stats for c in self.clients],
             link_demand_fetches=sum(s.link_demand_fetches for s in shards),
             link_prefetch_fetches=sum(s.link_prefetch_fetches for s in shards),
-            link_prefetch_bytes=sum(s.link_prefetch_bytes for s in shards),
-            link_demand_bytes=sum(s.link_demand_bytes for s in shards),
+            link_prefetch_bytes=prefetch_bytes,
+            link_demand_bytes=demand_bytes,
             per_proxy=shards,
             peer_fetches=sum(s.peer_fetches for s in shards),
-            peer_bytes=sum(s.peer_bytes for s in shards),
+            peer_bytes=peer_bytes,
             client_classes=class_rows,
+            kpis=kpis,
         )
 
 

@@ -101,7 +101,12 @@ __all__ = [
 #:     decomposition) and SimulationOutput grew per-class stats rows;
 #:     rebudgeted screens store boosted replication counts under keys
 #:     hashing that boosted count, which older readers must not alias.
-CACHE_SCHEMA_VERSION = 6
+#: v7: scenario engine + phases + KPIs (PR 8): WorkloadSpec grew
+#:     ``phases`` (covered via dataclass decomposition — a phased spec
+#:     can never alias its stationary twin), SimulationOutput grew a
+#:     ``kpis`` scorecard stored with cached results, and metric shards
+#:     now carry quantile sketches older readers cannot interpret.
+CACHE_SCHEMA_VERSION = 7
 
 
 # ----------------------------------------------------------------------
@@ -432,6 +437,10 @@ class SweepRunResult:
     #: screen ran, empty otherwise) — keeps the model values inspectable
     #: even for points that went on to simulate
     predictions: dict[str, Any] = field(default_factory=dict)
+    #: resolved ``scenario_hash`` per executed point key (None for
+    #: unhashable configs and analytic fills) — the audit trail that lets
+    #: a report name exactly which cache entries back its numbers
+    scenario_hashes: dict[str, str | None] = field(default_factory=dict)
 
     def __getitem__(self, key: str) -> ReplicatedResult:
         return self.results[key]
@@ -563,6 +572,11 @@ class SweepExecutor:
         #: cumulative cache traffic across run() calls (CLI reporting)
         self.cache_hit_count = 0
         self.cache_miss_count = 0
+        #: cumulative audit trail across run() calls: one
+        #: ``(point key, scenario hash or None)`` entry per executed
+        #: point, grid order — Experiment.run slices this to stamp each
+        #: report with the hashes backing its numbers.
+        self.hash_log: list[tuple[str, str | None]] = []
 
     # -- cache plumbing -------------------------------------------------
     def _cache_path(self, cache_key: str) -> Path:
@@ -668,6 +682,7 @@ class SweepExecutor:
             extra_each = freed // len(simulate_keys)
 
         plans: list[_PointPlan] = []
+        point_hashes: dict[str, str | None] = {}
         for index, pt in enumerate(points):
             if pt.key not in simulate_keys:
                 continue  # analytic fill; index stays the grid position
@@ -682,16 +697,19 @@ class SweepExecutor:
                 replace(pt.config, seed=s)
                 for s in _replication_seeds(seed0, reps)
             ]
-            cache_key = cached = None
-            if self.cache_dir is not None:
-                try:
-                    cache_key = scenario_hash(
-                        pt.config, replications=reps, base_seed=seed0
-                    )
-                except Exception:
-                    cache_key = None  # unhashable config: run uncached
-                if cache_key is not None:
-                    cached = self._cache_load(cache_key, reps)
+            # The point's scenario hash is resolved whether or not a
+            # cache is attached: it is the report-facing audit identity
+            # of the point (and doubles as the cache key when one is).
+            try:
+                cache_key = scenario_hash(
+                    pt.config, replications=reps, base_seed=seed0
+                )
+            except Exception:
+                cache_key = None  # unhashable config: run uncached
+            point_hashes[pt.key] = cache_key
+            cached = None
+            if self.cache_dir is not None and cache_key is not None:
+                cached = self._cache_load(cache_key, reps)
             plans.append(_PointPlan(pt, configs, cache_key, cached))
 
         flat = [cfg for plan in plans if plan.cached is None for cfg in plan.configs]
@@ -714,7 +732,7 @@ class SweepExecutor:
                 cursor += len(plan.configs)
                 misses.append(plan.point.key)
                 provenance[plan.point.key] = "simulated"
-                if plan.cache_key is not None:
+                if plan.cache_key is not None and self.cache_dir is not None:
                     self._cache_store(plan.cache_key, plan.point, runs)
             simulated[plan.point.key] = (_aggregate(plan.point, runs), runs)
         # Reassemble in original grid order, analytic fills interleaved.
@@ -728,6 +746,10 @@ class SweepExecutor:
                 provenance[pt.key] = "analytic"
         self.cache_hit_count += len(hits)
         self.cache_miss_count += len(misses)
+        # Audit trail: every point of this run in grid order (analytic
+        # fills log None — there is no simulated scenario behind them).
+        scenario_hashes = {pt.key: point_hashes.get(pt.key) for pt in points}
+        self.hash_log.extend(scenario_hashes.items())
         return SweepRunResult(
             points=points,
             results=results,
@@ -737,6 +759,7 @@ class SweepExecutor:
             wall_clock_seconds=time.perf_counter() - started,
             provenance=provenance,
             predictions=predictions,
+            scenario_hashes=scenario_hashes,
         )
 
     def map_grid(self, fn: Callable, items: Sequence) -> list:

@@ -29,6 +29,7 @@ from repro.des.rng import RandomStreams
 from repro.errors import ConfigurationError
 from repro.workload.arrivals import ArrivalProcess, PoissonArrivals
 from repro.workload.markov_source import MarkovChainSource
+from repro.workload.phases import PhaseSchedule, PhaseSpec, phased_next_arrival
 from repro.workload.sizes import FixedSize, SizeDistribution
 from repro.workload.trace import TraceRecord
 from repro.workload.zipf import ZipfCatalog, shared_catalog
@@ -67,6 +68,15 @@ class WorkloadSpec:
         allowed fields are :data:`CLIENT_OVERRIDE_FIELDS`.  An overridden
         ``request_rate`` is that client's *own* rate (the others keep their
         λ/N share), so the aggregate becomes the sum of effective rates.
+    phases:
+        Optional piecewise-stationary time structure: a sequence of
+        :class:`~repro.workload.phases.PhaseSpec` (or plain mappings with
+        its fields) repeated cyclically for the whole run.  Each phase
+        scales every client's arrival rate by its ``rate_multiplier`` and
+        may reshape the reference stream (``zipf_exponent`` override,
+        ``popularity_shift`` rotation).  ``None`` (the default) keeps
+        every driver on its stationary code path, bit-identical to a spec
+        predating the feature.
     """
 
     num_clients: int = 4
@@ -77,6 +87,7 @@ class WorkloadSpec:
     mean_item_size: float = 1.0
     size_distribution: SizeDistribution | None = field(default=None, repr=False)
     client_overrides: Mapping[int, Mapping[str, Any]] = field(default_factory=dict)
+    phases: tuple[PhaseSpec, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
@@ -133,6 +144,23 @@ class WorkloadSpec:
                     f"client {client}: zipf_exponent override must be >= 0, "
                     f"got {overrides['zipf_exponent']!r}"
                 )
+        if self.phases is not None:
+            entries = tuple(
+                p if isinstance(p, PhaseSpec) else PhaseSpec(**dict(p))
+                for p in self.phases
+            )
+            if not entries:
+                raise ConfigurationError(
+                    "phases must be None or a non-empty sequence of PhaseSpec"
+                )
+            self.phases = entries
+
+    def make_schedule(self) -> PhaseSchedule | None:
+        """Resolved :class:`~repro.workload.phases.PhaseSchedule` (or
+        ``None`` for a stationary spec)."""
+        if self.phases is None:
+            return None
+        return PhaseSchedule(self.phases)
 
     @property
     def per_client_rate(self) -> float:
@@ -176,6 +204,39 @@ class WorkloadSpec:
             rng=streams.get(f"client{client}/items"),
         )
 
+    # ------------------------------------------------------------------
+    # Phased builders (phases is not None)
+    # ------------------------------------------------------------------
+    def make_phase_arrivals(
+        self, schedule: PhaseSchedule, client: int | None = None
+    ) -> tuple[PoissonArrivals, ...]:
+        """One arrival process per phase at that phase's effective rate."""
+        base = self.rate_of(client)
+        return tuple(PoissonArrivals(base * m) for m in schedule.multipliers)
+
+    def make_phase_sources(
+        self, client: int, streams: RandomStreams, schedule: PhaseSchedule
+    ) -> tuple[MarkovChainSource, ...]:
+        """One reference source per item variant (dedicated RNG streams).
+
+        The base variant keeps the unphased stream name
+        (``client<c>/items``) and the workload's own catalogue, so a
+        schedule that never reshapes items draws exactly what the
+        stationary path would.
+        """
+        catalogs = schedule.variant_catalogs(
+            catalog_size=int(self.client_param(client, "catalog_size")),
+            zipf_exponent=float(self.client_param(client, "zipf_exponent")),
+        )
+        names = schedule.stream_names(f"client{client}/items")
+        q = float(self.client_param(client, "follow_probability"))
+        return tuple(
+            MarkovChainSource(
+                catalog, follow_probability=q, rng=streams.get(name)
+            )
+            for catalog, name in zip(catalogs, names)
+        )
+
 
 def generate_trace(
     spec: WorkloadSpec,
@@ -190,6 +251,11 @@ def generate_trace(
     """
     if duration <= 0:
         raise ConfigurationError(f"duration must be > 0, got {duration!r}")
+    schedule = spec.make_schedule()
+    if schedule is not None:
+        return _generate_phased_trace(
+            spec, schedule, duration=duration, seed=seed
+        )
     streams = RandomStreams(seed)
     sizes = spec.make_sizes()
     size_rng = streams.get("sizes")
@@ -221,4 +287,56 @@ def generate_trace(
         t_next = t + arrivals[c].next_gap(arrival_rngs[c])
         if t_next <= duration:
             heapq.heappush(heap, (t_next, c))
+    return records
+
+
+def _generate_phased_trace(
+    spec: WorkloadSpec,
+    schedule: PhaseSchedule,
+    *,
+    duration: float,
+    seed: int,
+) -> list[TraceRecord]:
+    """Phased variant of :func:`generate_trace` (same merge structure).
+
+    Arrivals walk the piecewise-homogeneous Poisson process per client
+    (:func:`~repro.workload.phases.phased_next_arrival`); items come from
+    the phase's item variant.  With a single neutral phase every draw —
+    gaps, items, sizes — hits the same streams in the same order as the
+    stationary path, so the output is identical (pinned by tests).
+    """
+    streams = RandomStreams(seed)
+    sizes = spec.make_sizes()
+    size_rng = streams.get("sizes")
+    n = spec.num_clients
+    arrivals = {c: spec.make_phase_arrivals(schedule, c) for c in range(n)}
+    arrival_rngs = {c: streams.get(f"client{c}/arrivals") for c in range(n)}
+    sources = {c: spec.make_phase_sources(c, streams, schedule) for c in range(n)}
+    item_streams = {
+        c: tuple(source.stream() for source in sources[c]) for c in range(n)
+    }
+    variant_of_phase = schedule.variant_of_phase
+    # Heap entries carry the arrival's phase so the item draw uses the
+    # variant active when the request fires, not when it was scheduled.
+    heap: list[tuple[float, int, int]] = []
+    for c in range(n):
+        t, idx = phased_next_arrival(0.0, schedule, arrivals[c], arrival_rngs[c])
+        if t <= duration:
+            heapq.heappush(heap, (t, c, idx))
+    records: list[TraceRecord] = []
+    while heap:
+        t, c, idx = heapq.heappop(heap)
+        records.append(
+            TraceRecord(
+                time=t,
+                client=c,
+                item=next(item_streams[c][variant_of_phase[idx]]),
+                size=float(sizes.sample(size_rng)),
+            )
+        )
+        t_next, idx_next = phased_next_arrival(
+            t, schedule, arrivals[c], arrival_rngs[c]
+        )
+        if t_next <= duration:
+            heapq.heappush(heap, (t_next, c, idx_next))
     return records

@@ -259,6 +259,17 @@ class TestAnalyticPredictor:
         with pytest.raises(PredictionUnsupported):
             AnalyticPredictor().predict(config)
 
+    def test_phased_points_unsupported(self):
+        """Piecewise-stationary load has no single stationary closed form
+        — a screen must simulate phased points, never fill them."""
+        config = SimulationConfig(
+            workload=WorkloadSpec(
+                phases=[{"duration": 10.0, "rate_multiplier": 2.0}]
+            ),
+        )
+        with pytest.raises(PredictionUnsupported, match="phased"):
+            AnalyticPredictor().predict(config)
+
     def test_unknown_config_type_unsupported(self):
         with pytest.raises(PredictionUnsupported):
             AnalyticPredictor().predict(object())

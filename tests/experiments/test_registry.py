@@ -19,6 +19,7 @@ EXPECTED_IDS = {
     "sharding",
     "cooperative-caching",
     "analytic-screen",
+    "scenario",
 }
 
 

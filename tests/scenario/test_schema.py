@@ -1,0 +1,219 @@
+"""Schema validation: every invalid document fails with a path-qualified error."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario import ScenarioError, load_scenario, parse_scenario
+
+
+def valid_document() -> dict:
+    return {
+        "name": "demo",
+        "description": "a valid scenario",
+        "workload": {
+            "num_clients": 4,
+            "request_rate": 20.0,
+            "catalog_size": 100,
+            "zipf_exponent": 1.0,
+            "follow_probability": 0.5,
+            "phases": [
+                {"duration": 30.0},
+                {"duration": 10.0, "rate_multiplier": 3.0, "zipf_exponent": 1.3},
+                {"duration": 30.0, "popularity_shift": 50},
+            ],
+        },
+        "system": {
+            "bandwidth": 40.0,
+            "cache_capacity": 20,
+            "policy": "threshold-dynamic",
+            "duration": 80.0,
+            "warmup": 10.0,
+            "seed": 7,
+        },
+        "topology": {
+            "num_proxies": 2,
+            "routing": "item-hash",
+            "cooperation": {"mode": "owner-probe"},
+        },
+        "sweep": {
+            "replications": 2,
+            "base_seed": 3,
+            "grid": {"system.policy": ["none", "threshold-dynamic"]},
+        },
+    }
+
+
+class TestValidDocuments:
+    def test_full_document_parses(self):
+        spec = parse_scenario(valid_document())
+        assert spec.name == "demo"
+        assert spec.workload.num_clients == 4
+        assert len(spec.workload.phases) == 3
+        assert spec.workload.phases[1].rate_multiplier == 3.0
+        assert spec.topology.cooperation.mode == "owner-probe"
+        assert spec.sweep.grid["system.policy"] == ("none", "threshold-dynamic")
+
+    def test_minimal_document(self):
+        spec = parse_scenario({"name": "tiny"})
+        assert spec.name == "tiny"
+        assert spec.workload.phases is None
+        assert spec.sweep.grid == {}
+        assert spec.sweep.replications == 3
+
+    def test_unset_fields_are_none(self):
+        spec = parse_scenario({"name": "x", "system": {"bandwidth": 9.0}})
+        assert spec.system.bandwidth == 9.0
+        assert spec.system.policy is None
+        assert spec.system.duration is None
+
+    def test_scenario_error_is_configuration_error(self):
+        assert issubclass(ScenarioError, ConfigurationError)
+
+
+def _error_path(document) -> str:
+    with pytest.raises(ScenarioError) as excinfo:
+        parse_scenario(document)
+    # the message must lead with the path
+    assert str(excinfo.value).startswith(excinfo.value.path)
+    return excinfo.value.path
+
+
+class TestErrorPaths:
+    """Every invalid case reports the dotted path of the offending field."""
+
+    def test_missing_name(self):
+        assert _error_path({}) == "name"
+
+    def test_bad_phase_duration_is_indexed(self):
+        doc = valid_document()
+        doc["workload"]["phases"][1] = {"duration": -1.0}
+        assert _error_path(doc) == "workload.phases[1].duration"
+
+    def test_phase_unknown_key(self):
+        doc = valid_document()
+        doc["workload"]["phases"][2]["surprise"] = 1
+        assert _error_path(doc) == "workload.phases[2]"
+
+    def test_empty_phase_list(self):
+        doc = valid_document()
+        doc["workload"]["phases"] = []
+        assert _error_path(doc) == "workload.phases"
+
+    def test_bool_is_not_an_int(self):
+        doc = valid_document()
+        doc["workload"]["num_clients"] = True
+        assert _error_path(doc) == "workload.num_clients"
+
+    def test_string_is_not_a_number(self):
+        doc = valid_document()
+        doc["system"]["bandwidth"] = "fast"
+        assert _error_path(doc) == "system.bandwidth"
+
+    def test_unknown_policy_name(self):
+        doc = valid_document()
+        doc["system"]["policy"] = "prefetch-everything"
+        path = _error_path(doc)
+        assert path == "system.policy"
+
+    def test_unknown_routing_name(self):
+        doc = valid_document()
+        doc["topology"]["routing"] = "round-robin"
+        assert _error_path(doc) == "topology.routing"
+
+    def test_unknown_cooperation_mode(self):
+        doc = valid_document()
+        doc["topology"]["cooperation"]["mode"] = "gossip"
+        assert _error_path(doc) == "topology.cooperation.mode"
+
+    def test_unknown_top_level_key(self):
+        path = _error_path({"name": "x", "wrkload": {}})
+        assert path == "<document>"
+
+    def test_unknown_section_key_lists_allowed(self):
+        doc = valid_document()
+        doc["system"]["cache_sise"] = 5
+        with pytest.raises(ScenarioError, match="cache_sise"):
+            parse_scenario(doc)
+
+    def test_follow_probability_out_of_range(self):
+        doc = valid_document()
+        doc["workload"]["follow_probability"] = 1.5
+        assert _error_path(doc) == "workload.follow_probability"
+
+    def test_negative_replications(self):
+        doc = valid_document()
+        doc["sweep"]["replications"] = 0
+        assert _error_path(doc) == "sweep.replications"
+
+    def test_grid_bad_root(self):
+        doc = valid_document()
+        doc["sweep"]["grid"] = {"nonsense.policy": ["none"]}
+        assert _error_path(doc) == "sweep.grid.nonsense.policy"
+
+    def test_grid_rootless_key(self):
+        doc = valid_document()
+        doc["sweep"]["grid"] = {"policy": ["none"]}
+        assert _error_path(doc) == "sweep.grid.policy"
+
+    def test_grid_empty_values(self):
+        doc = valid_document()
+        doc["sweep"]["grid"] = {"system.policy": []}
+        assert _error_path(doc) == "sweep.grid.system.policy"
+
+    def test_grid_non_scalar_value(self):
+        doc = valid_document()
+        doc["sweep"]["grid"] = {"system.policy": [["none"]]}
+        assert _error_path(doc) == "sweep.grid.system.policy[0]"
+
+    def test_non_mapping_section(self):
+        doc = valid_document()
+        doc["workload"] = "lots"
+        assert _error_path(doc) == "workload"
+
+    def test_non_mapping_document(self):
+        with pytest.raises(ScenarioError, match="<document>"):
+            parse_scenario(["not", "a", "mapping"])
+
+
+class TestLoadScenario:
+    def test_yaml_round_trip(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "demo.yaml"
+        path.write_text(yaml.safe_dump(valid_document()), encoding="utf-8")
+        spec = load_scenario(path)
+        assert spec.name == "demo"
+        assert spec.source == str(path)
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "demo.json"
+        path.write_text(json.dumps(valid_document()), encoding="utf-8")
+        spec = load_scenario(path)
+        assert spec.name == "demo"
+        assert len(spec.workload.phases) == 3
+
+    def test_invalid_yaml_is_wrapped(self, tmp_path):
+        pytest.importorskip("yaml")
+        path = tmp_path / "broken.yaml"
+        path.write_text("name: [unclosed", encoding="utf-8")
+        with pytest.raises(ScenarioError, match="invalid YAML"):
+            load_scenario(path)
+
+    def test_invalid_json_is_wrapped(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{", encoding="utf-8")
+        with pytest.raises(ScenarioError, match="invalid JSON"):
+            load_scenario(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ScenarioError, match="cannot read"):
+            load_scenario(tmp_path / "absent.yaml")
+
+    def test_unknown_suffix(self, tmp_path):
+        path = tmp_path / "demo.toml"
+        path.write_text("x = 1", encoding="utf-8")
+        with pytest.raises(ScenarioError, match="unknown scenario suffix"):
+            load_scenario(path)

@@ -1,0 +1,199 @@
+"""KPI layer: quantile sketch exactness, shard assembly, pooled aggregation."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.network.topology import TopologyConfig
+from repro.sim.config import SimulationConfig
+from repro.sim.kpis import (
+    BINS_PER_DECADE,
+    KPIShard,
+    QuantileSketch,
+    RunKPIs,
+    aggregate_kpis,
+)
+from repro.sim.simulation import run_simulation
+from repro.workload.sessions import WorkloadSpec
+
+
+def fed(values) -> QuantileSketch:
+    sketch = QuantileSketch()
+    for v in values:
+        sketch.record(v)
+    return sketch
+
+
+class TestQuantileSketch:
+    def test_empty_is_nan(self):
+        assert math.isnan(QuantileSketch().quantile(0.5))
+
+    def test_quantile_order_validated(self):
+        with pytest.raises(ValueError):
+            fed([1.0]).quantile(0.0)
+        with pytest.raises(ValueError):
+            fed([1.0]).quantile(1.5)
+
+    def test_zeros_bucket_is_exact(self):
+        """A majority-hits run has p50 exactly 0.0, not a tiny binned value."""
+        sketch = fed([0.0] * 70 + [1.0] * 30)
+        assert sketch.quantile(0.50) == 0.0
+        assert sketch.quantile(0.71) > 0.0
+
+    def test_relative_error_bound(self):
+        """Every quantile answer is within one log-bin of the true value."""
+        rng = random.Random(7)
+        values = [rng.lognormvariate(0.0, 1.5) for _ in range(5000)]
+        sketch = fed(values)
+        ordered = sorted(values)
+        tolerance = 10.0 ** (1.0 / BINS_PER_DECADE)  # one bin width
+        for q in (0.5, 0.9, 0.95, 0.99):
+            true = ordered[math.ceil(q * len(ordered)) - 1]
+            estimate = sketch.quantile(q)
+            assert true / tolerance <= estimate <= true * tolerance
+
+    def test_answers_clamped_to_observed_range(self):
+        sketch = fed([0.5, 0.5, 0.5])
+        assert sketch.quantile(1.0) <= 0.5
+        assert sketch.quantile(0.01) >= 0.5
+
+    def test_merge_is_exact(self):
+        """Merging partial sketches == one sketch over the concatenation."""
+        rng = random.Random(3)
+        a_vals = [rng.expovariate(2.0) for _ in range(800)] + [0.0] * 100
+        b_vals = [rng.expovariate(0.5) for _ in range(500)]
+        merged = fed(a_vals).merge(fed(b_vals))
+        whole = fed(a_vals + b_vals)
+        assert merged.bins == whole.bins
+        assert merged.zeros == whole.zeros
+        assert merged.count == whole.count
+        assert merged.quantile(0.95) == whole.quantile(0.95)
+
+    def test_merge_order_independent(self):
+        a, b = fed([0.1, 1.0]), fed([10.0, 0.0])
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.bins == ba.bins and ab.zeros == ba.zeros
+
+    def test_mean_tracks_total(self):
+        sketch = fed([1.0, 2.0, 3.0])
+        assert sketch.mean == pytest.approx(2.0)
+
+
+def shard(node_id, values, *, requests=None, hits=0, busy=1.0, elapsed=10.0):
+    return KPIShard(
+        node_id=node_id,
+        sketch=fed(values),
+        requests=len(values) if requests is None else requests,
+        hits=hits,
+        request_bytes=float(len(values)),
+        hit_bytes=float(hits),
+        busy=busy,
+        elapsed=elapsed,
+    )
+
+
+class TestRunKPIs:
+    def test_from_shards_sums_raw(self):
+        kpis = RunKPIs.from_shards(
+            [shard(0, [0.0, 1.0], hits=1), shard(1, [2.0], hits=0)],
+            demand_bytes=10.0, prefetch_bytes=5.0, peer_bytes=5.0,
+        )
+        assert kpis.requests == 3
+        assert kpis.hits == 1
+        assert kpis.hit_ratio == pytest.approx(1 / 3)
+        assert kpis.byte_hit_ratio == pytest.approx(1 / 3)
+        assert kpis.peer_traffic_share == pytest.approx(0.25)
+        assert kpis.per_shard_utilization == (pytest.approx(0.1),) * 2
+
+    def test_empty_shards_rejected(self):
+        with pytest.raises(ValueError):
+            RunKPIs.from_shards([], demand_bytes=0, prefetch_bytes=0,
+                                peer_bytes=0)
+
+    def test_scorecard_rows_render(self):
+        kpis = RunKPIs.from_shards(
+            [shard(0, [0.0, 0.5], hits=1)],
+            demand_bytes=1.0, prefetch_bytes=0.0, peer_bytes=0.0,
+        )
+        rows = dict(kpis.scorecard_rows())
+        assert rows["requests"] == "2"
+        assert rows["pooled runs"] == "1"
+        assert "access time p99" in rows
+
+
+class TestAggregateKPIs:
+    def make(self, values, hits, busy):
+        return RunKPIs.from_shards(
+            [shard(0, values, hits=hits, busy=busy)],
+            demand_bytes=float(len(values)), prefetch_bytes=1.0,
+            peer_bytes=0.0,
+        )
+
+    def test_ratio_of_sums_exact(self):
+        """Pooling = the scorecard one merged collector would produce."""
+        a = self.make([0.0, 1.0, 2.0], hits=1, busy=2.0)
+        b = self.make([0.0, 0.0, 4.0], hits=2, busy=4.0)
+        pooled = aggregate_kpis([a, b])
+        assert pooled.requests == 6
+        assert pooled.hit_ratio == pytest.approx(3 / 6)  # NOT mean of ratios
+        assert pooled.per_shard_utilization == (pytest.approx(6.0 / 20.0),)
+        assert pooled.runs == 2
+        whole = fed([0.0, 1.0, 2.0, 0.0, 0.0, 4.0])
+        assert pooled.sketch.bins == whole.bins
+        assert pooled.access_p50 == whole.quantile(0.5)
+
+    def test_shard_count_mismatch_rejected(self):
+        one = self.make([1.0], hits=0, busy=1.0)
+        two = RunKPIs.from_shards(
+            [shard(0, [1.0]), shard(1, [2.0])],
+            demand_bytes=2.0, prefetch_bytes=0.0, peer_bytes=0.0,
+        )
+        with pytest.raises(ValueError):
+            aggregate_kpis([one, two])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_kpis([])
+
+
+class TestSimulationIntegration:
+    def run_config(self, proxies=1):
+        return run_simulation(
+            SimulationConfig(
+                workload=WorkloadSpec(num_clients=4, request_rate=20.0,
+                                      catalog_size=50,
+                                      follow_probability=0.5),
+                bandwidth=40.0,
+                cache_capacity=10,
+                duration=30.0,
+                warmup=6.0,
+                seed=3,
+                topology=TopologyConfig(num_proxies=proxies),
+            )
+        )
+
+    def test_output_carries_kpis(self):
+        out = self.run_config()
+        assert out.kpis is not None
+        assert out.kpis.requests == out.metrics.requests
+        assert out.kpis.hit_ratio == pytest.approx(out.metrics.hit_ratio)
+        assert 0.0 <= out.kpis.access_p50 <= out.kpis.access_p95
+        assert out.kpis.access_p95 <= out.kpis.access_p99
+
+    def test_per_shard_partition_is_exact(self):
+        """Shards partition the run: sums match the aggregate exactly."""
+        out = self.run_config(proxies=2)
+        assert len(out.kpis.per_shard_utilization) == 2
+        assert out.kpis.requests == sum(
+            s.metrics.requests for s in out.per_proxy
+        )
+        # whole-run sketch count == request count in the measured window
+        assert out.kpis.sketch.count == out.kpis.requests
+
+    def test_majority_hit_run_has_zero_p50(self):
+        out = self.run_config()
+        if out.metrics.hit_ratio > 0.5:
+            assert out.kpis.access_p50 == 0.0

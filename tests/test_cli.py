@@ -122,6 +122,36 @@ class TestCLI:
         assert "identical request sequence" in report
         assert str(out) in report
 
+    def test_run_scenario_parses_file_and_kpi_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["run-scenario", "s.yaml", "--kpi"])
+        assert args.experiment == "run-scenario"
+        assert str(args.scenario_file) == "s.yaml"
+        assert args.kpi
+
+    def test_run_scenario_requires_file(self, capsys):
+        assert main(["run-scenario"]) == 2
+        assert "needs a scenario file" in capsys.readouterr().err
+
+    def test_run_scenario_rejects_invalid_document(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "system": {"bandwidth": -3}}',
+                       encoding="utf-8")
+        assert main(["run-scenario", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid scenario" in err and "system.bandwidth" in err
+
+    def test_run_scenario_executes_catalog_file(self, capsys):
+        from pathlib import Path
+
+        scenario = (Path(__file__).resolve().parents[1] / "scenarios"
+                    / "flash_crowd.yaml")
+        assert main(["run-scenario", str(scenario), "--fast",
+                     "--no-plots"]) == 0
+        report = capsys.readouterr().out
+        assert "flash-crowd" in report
+        assert "stationary" in report
+
     def test_sweep_cache_warm_rerun(self, tmp_path, capsys):
         cache = tmp_path / "cache"
         argv = ["load-impedance", "--fast", "--no-plots", "--sweep", str(cache)]

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Scenario-catalog lint: every ``scenarios/*.yaml`` must fully compile.
+
+For each catalog document this
+
+1. loads + validates it through the scenario schema
+   (:func:`repro.scenario.load_scenario` — precise, path-qualified
+   errors),
+2. compiles it to a :class:`~repro.sim.config.SimulationConfig`
+   (cross-field rules: duration vs warmup, policy/predictor names, ...),
+3. expands its sweep grid into sweep points (every grid override applies
+   cleanly) and verifies each point's config is ``scenario_hash``-able —
+   the property the result cache and the experiment audit trail rely on.
+
+Nothing is simulated, so the whole catalog lints in well under a second.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_scenarios.py [FILE ...]
+
+With no arguments the whole ``scenarios/`` catalog is linted.  Exit
+status 0 when every document passes, 1 otherwise — so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenario import compile_config, expand_points, load_scenario  # noqa: E402
+from repro.scenario.schema import ScenarioError  # noqa: E402
+from repro.sim.sweep import scenario_hash  # noqa: E402
+
+
+def lint(path: Path) -> list[str]:
+    """Return human-readable problems for one scenario document."""
+    rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+    try:
+        spec = load_scenario(path)
+    except ScenarioError as exc:
+        return [f"{rel}: {exc}"]
+    problems: list[str] = []
+    try:
+        compile_config(spec)
+        points = expand_points(spec)
+    except ScenarioError as exc:
+        return [f"{rel}: {exc}"]
+    for point in points:
+        try:
+            scenario_hash(
+                point.config,
+                replications=point.replications,
+                base_seed=point.base_seed
+                if point.base_seed is not None
+                else point.config.seed,
+            )
+        except Exception as exc:  # unpicklable config: cache-opaque point
+            problems.append(
+                f"{rel}: point {point.key!r} is not scenario_hash-able: {exc}"
+            )
+    if not problems:
+        phased = "phased" if spec.workload.phases else "stationary"
+        print(
+            f"ok: {rel} -> scenario {spec.name!r}, {len(points)} point(s), "
+            f"{phased} workload"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if args:
+        files = [Path(a) for a in args]
+    else:
+        files = sorted((REPO_ROOT / "scenarios").glob("*.yaml"))
+        files += sorted((REPO_ROOT / "scenarios").glob("*.yml"))
+        files += sorted((REPO_ROOT / "scenarios").glob("*.json"))
+    if not files:
+        print("no scenario files found", file=sys.stderr)
+        return 1
+    problems: list[str] = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: no such file")
+            continue
+        problems += lint(path)
+    if problems:
+        print("\nSCENARIO LINT FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"scenario lint passed ({len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
