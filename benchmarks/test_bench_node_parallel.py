@@ -1,0 +1,129 @@
+"""Benchmark: parallel node backend vs the serial event loop (PR 9).
+
+One saturated eight-proxy client-affinity tier (the decoupled regime the
+conservative partition shards per node), run twice on identical configs:
+once on the serial loop, once with ``node_backend="parallel"`` fanning
+the shards over worker processes.  The outputs must be **bit-identical**
+— the backend is purely an execution knob — so the benchmark asserts
+full structural equality before reporting throughput.
+
+The speedup is only visible on a multi-core host: on a single-core box
+the oversubscription guard caps the fan-out at one worker and the run
+degrades to an in-process shard loop (slight overhead vs serial, same
+results).  CI runs this module with ``REPRO_NODE_WORKERS=2``; the JSON
+record (``BENCH_NODE_PARALLEL.json``) stores the host core count next to
+the measured speedup so trajectories stay interpretable.
+
+Env knobs:
+  REPRO_NODE_WORKERS        worker-process fan-out (default 4)
+  REPRO_NODE_BENCH_CLIENTS  total clients across the tier (default 64)
+
+Run:  pytest benchmarks/test_bench_node_parallel.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import time
+import warnings
+
+from repro.network.topology import TopologyConfig
+from repro.sim import SimulationConfig, run_simulation
+from repro.sim.kpis import QuantileSketch
+from repro.workload.sessions import WorkloadSpec
+
+NUM_PROXIES = 8
+NODE_WORKERS = int(os.environ.get("REPRO_NODE_WORKERS", "4"))
+NUM_CLIENTS = int(os.environ.get("REPRO_NODE_BENCH_CLIENTS", "64"))
+
+
+def _tier_config() -> SimulationConfig:
+    return SimulationConfig(
+        workload=WorkloadSpec(
+            num_clients=NUM_CLIENTS,
+            request_rate=5.0 * NUM_CLIENTS,  # ~40 req/s per proxy uplink
+            catalog_size=600,
+            zipf_exponent=0.9,
+            follow_probability=0.7,
+        ),
+        bandwidth=50.0,
+        cache_capacity=40,
+        predictor="markov",
+        policy="threshold-dynamic",
+        duration=120.0,
+        warmup=20.0,
+        seed=17,
+        topology=TopologyConfig(num_proxies=NUM_PROXIES),
+    )
+
+
+def _canon(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canon(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, QuantileSketch):
+        return (value.zeros, tuple(sorted(value.bins.items())), value.count,
+                value.total, value.min, value.max)
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    return value
+
+
+def test_bench_node_parallel_vs_serial(benchmark):
+    serial_config = _tier_config()
+    parallel_config = dataclasses.replace(
+        serial_config, node_backend="parallel", node_workers=NODE_WORKERS
+    )
+
+    t0 = time.perf_counter()
+    serial_out = run_simulation(serial_config)
+    serial_s = time.perf_counter() - t0
+
+    with warnings.catch_warnings():
+        # single-core hosts: the oversubscription guard caps the fan-out
+        warnings.simplefilter("ignore", RuntimeWarning)
+        parallel_out = benchmark.pedantic(
+            lambda: run_simulation(parallel_config),
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+    parallel_s = benchmark.stats.stats.min
+
+    # the backend is an execution knob: results must be bit-identical
+    assert _canon(parallel_out) == _canon(serial_out)
+
+    cpus = os.cpu_count() or 1
+    speedup = serial_s / parallel_s
+    requests = serial_out.metrics.requests
+    print(f"\n{NUM_PROXIES} proxies, {NUM_CLIENTS} clients, "
+          f"{requests} measured requests, host cpus={cpus}")
+    print("backend    workers  wall-s   clients/s  sim-req/s")
+    print(f"serial     {1:>7}  {serial_s:>6.2f}  {NUM_CLIENTS / serial_s:>9.1f}"
+          f"  {requests / serial_s:>9.0f}")
+    print(f"parallel   {NODE_WORKERS:>7}  {parallel_s:>6.2f}"
+          f"  {NUM_CLIENTS / parallel_s:>9.1f}  {requests / parallel_s:>9.0f}")
+    print(f"speedup    {speedup:.2f}x")
+
+    benchmark.extra_info["cpus"] = cpus
+    benchmark.extra_info["num_proxies"] = NUM_PROXIES
+    benchmark.extra_info["num_clients"] = NUM_CLIENTS
+    benchmark.extra_info["node_workers_requested"] = NODE_WORKERS
+    benchmark.extra_info["serial_seconds"] = round(serial_s, 4)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_s, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["clients_per_second_parallel"] = round(
+        NUM_CLIENTS / parallel_s, 2
+    )
+    benchmark.extra_info["bit_identical"] = True
+
+    # a multi-core host with a real fan-out must actually win; a capped
+    # single-core run only has to stay in the serial ballpark
+    if cpus >= 2 * NODE_WORKERS and NODE_WORKERS >= 4:
+        assert speedup >= 1.8
+    elif cpus == 1:
+        assert speedup > 0.5

@@ -187,6 +187,33 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--node-backend",
+        choices=["serial", "parallel"],
+        default=None,
+        metavar="BACKEND",
+        help=(
+            "how each simulation's proxy tier executes: 'serial' (one "
+            "event loop, default) or 'parallel' (per-shard event loops in "
+            "worker processes, conservative lookahead windows; "
+            "bit-identical to serial — configs whose cross-node channels "
+            "carry zero lookahead fall back to the serial loop with a "
+            "warning).  Composes with --jobs; the oversubscription guard "
+            "caps node_workers x jobs at the core count"
+        ),
+    )
+    parser.add_argument(
+        "--node-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes per parallel-backend simulation (default: "
+            "one per shard group up to the core count); implies "
+            "--node-backend parallel; purely an execution knob — results "
+            "are identical for every value"
+        ),
+    )
+    parser.add_argument(
         "--sweep",
         nargs="?",
         const=DEFAULT_SWEEP_CACHE,
@@ -210,7 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
             "profile the experiment run under cProfile: print the top "
             "functions by cumulative time and dump full pstats data to "
             "FILE (default 'repro-profile.pstats'; inspect with "
-            "'python -m pstats FILE' or snakeviz)"
+            "'python -m pstats FILE' or snakeviz).  cProfile covers the "
+            "PARENT process only: with --jobs/--node-workers > 1 the "
+            "simulation work happens in worker processes the profile "
+            "cannot see (the stats are labelled accordingly) — rerun "
+            "with --jobs 1 and the serial node backend for full coverage"
         ),
     )
     parser.add_argument(
@@ -346,6 +377,14 @@ def main(argv: list[str] | None = None) -> int:
     engine = (
         SweepExecutor(cache_dir=Path(args.sweep)) if args.sweep is not None else None
     )
+    # --node-backend/--node-workers set the session default every
+    # simulation build consults (mirroring how --jobs reaches replication
+    # runs); a bare --node-workers implies the parallel backend.
+    from repro.sim.parallel import node_backend_session
+
+    node_backend = args.node_backend
+    if node_backend is None and args.node_workers is not None:
+        node_backend = "parallel"
     if args.profile is not None:
         # Profile exactly the experiment execution (not argument parsing
         # or report printing of other runs): everything inside the sweep
@@ -353,22 +392,47 @@ def main(argv: list[str] | None = None) -> int:
         import cProfile
         import pstats
 
+        # cProfile instruments the parent process only.  Under --jobs /
+        # --node-workers the simulation work happens in child processes
+        # it cannot see, so say so up front and label the stats — a
+        # near-empty profile silently attributed to "the run" sends the
+        # reader chasing phantom overhead.
+        worker_flags = []
+        if args.jobs is not None and args.jobs != 1:
+            worker_flags.append(f"--jobs {args.jobs}")
+        if node_backend == "parallel":
+            worker_flags.append("--node-backend parallel")
         profiler = cProfile.Profile()
         profiler.enable()
         try:
-            with sweep_session(engine):
-                for target in targets:
-                    print(_run_one(target, args))
+            with node_backend_session(node_backend, args.node_workers):
+                with sweep_session(engine):
+                    for target in targets:
+                        print(_run_one(target, args))
         finally:
             profiler.disable()
             profiler.dump_stats(args.profile)
+            if worker_flags:
+                print(
+                    f"note: profile covers the PARENT process only — "
+                    f"{', '.join(worker_flags)} moves simulation work "
+                    f"into worker processes cProfile cannot see (rerun "
+                    f"with --jobs 1 and the serial node backend for "
+                    f"full coverage)",
+                    file=sys.stderr,
+                )
             stats = pstats.Stats(profiler, stream=sys.stderr)
             stats.sort_stats("cumulative").print_stats(15)
-            print(f"profile data written to {args.profile}", file=sys.stderr)
+            scope = "parent process only" if worker_flags else "full run"
+            print(
+                f"profile data ({scope}) written to {args.profile}",
+                file=sys.stderr,
+            )
     else:
-        with sweep_session(engine):
-            for target in targets:
-                print(_run_one(target, args))
+        with node_backend_session(node_backend, args.node_workers):
+            with sweep_session(engine):
+                for target in targets:
+                    print(_run_one(target, args))
     if engine is not None:
         print(
             f"sweep cache {args.sweep}: {engine.cache_hit_count} point(s) served "

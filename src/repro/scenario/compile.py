@@ -139,6 +139,8 @@ def compile_config(spec: ScenarioSpec) -> SimulationConfig:
             "seed",
             "prediction_limit",
             "client_backend",
+            "node_backend",
+            "node_workers",
         ),
     )
     if spec.system.predictor_params is not None:

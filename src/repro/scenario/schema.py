@@ -41,7 +41,12 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.network.topology import COOPERATION_MODES, ROUTING_NAMES
-from repro.sim.config import CLIENT_BACKENDS, POLICY_NAMES, PREDICTOR_NAMES
+from repro.sim.config import (
+    CLIENT_BACKENDS,
+    NODE_BACKENDS,
+    POLICY_NAMES,
+    PREDICTOR_NAMES,
+)
 
 __all__ = [
     "ScenarioError",
@@ -259,6 +264,8 @@ class SystemSchema:
     seed: int | None = None
     prediction_limit: int | None = None
     client_backend: str | None = None
+    node_backend: str | None = None
+    node_workers: int | None = None
 
 
 @dataclass(frozen=True)
@@ -363,6 +370,8 @@ def _parse_system(data: Any, path: str) -> SystemSchema:
         seed=node.take("seed", _int),
         prediction_limit=node.take("prediction_limit", _positive_int),
         client_backend=node.take("client_backend", _choice(CLIENT_BACKENDS)),
+        node_backend=node.take("node_backend", _choice(NODE_BACKENDS)),
+        node_workers=node.take("node_workers", _positive_int),
     )
     node.finish()
     return system

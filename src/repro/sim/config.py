@@ -14,6 +14,7 @@ __all__ = [
     "PREDICTOR_NAMES",
     "POLICY_NAMES",
     "CLIENT_BACKENDS",
+    "NODE_BACKENDS",
 ]
 
 PREDICTOR_NAMES = (
@@ -35,6 +36,8 @@ POLICY_NAMES = (
 )
 
 CLIENT_BACKENDS = ("per-client", "aggregated")
+
+NODE_BACKENDS = ("serial", "parallel")
 
 
 @dataclass
@@ -94,6 +97,27 @@ class SimulationConfig:
         clients.  Incompatible with ``trace_path`` (a recorded trace *is*
         an exact per-client schedule; aggregating it would discard the
         recording).
+    node_backend:
+        How the proxy tier's event loops execute.  ``serial`` (default)
+        runs the whole tier on one :class:`~repro.des.environment.
+        Environment` — every earlier PR's behaviour.  ``parallel`` gives
+        each shard group of :class:`~repro.sim.node.ProxyNode` instances
+        its own event loop in a worker process, synchronized by the
+        conservative lookahead-window protocol of
+        :mod:`repro.sim.parallel` — and is **bit-identical** to serial
+        for every topology and cooperation mode: configurations whose
+        cross-node channels carry zero lookahead (item-hash routing,
+        cooperative probes, stochastic lazily-sampled sizes, trace
+        replay) are detected at build time and fall back to the serial
+        loop with a warning rather than risk divergence.  See
+        ARCHITECTURE.md ("Parallel node backend").
+    node_workers:
+        Worker-process cap for ``node_backend="parallel"``.  ``None``
+        (default) uses the session default (CLI ``--node-workers``) or
+        one worker per shard group up to the core count; the
+        oversubscription guard caps ``node_workers × jobs`` at
+        ``os.cpu_count()`` with a warning.  Purely an execution knob —
+        results are identical for every value.
     """
 
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
@@ -112,6 +136,8 @@ class SimulationConfig:
     trace_path: str | None = None
     topology: TopologyConfig = field(default_factory=TopologyConfig)
     client_backend: str = "per-client"
+    node_backend: str = "serial"
+    node_workers: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.topology, TopologyConfig):
@@ -143,6 +169,15 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"unknown client_backend {self.client_backend!r}; "
                 f"known: {CLIENT_BACKENDS}"
+            )
+        if self.node_backend not in NODE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown node_backend {self.node_backend!r}; "
+                f"known: {NODE_BACKENDS}"
+            )
+        if self.node_workers is not None and int(self.node_workers) < 1:
+            raise ConfigurationError(
+                f"node_workers must be >= 1, got {self.node_workers!r}"
             )
         if self.client_backend == "aggregated" and self.trace_path is not None:
             raise ConfigurationError(

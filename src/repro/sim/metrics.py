@@ -33,8 +33,10 @@ from repro.sim.kpis import KPIShard, QuantileSketch
 
 __all__ = [
     "MetricsCollector",
+    "MetricsSnapshot",
     "SimulationMetrics",
     "ClientClassStats",
+    "aggregate_snapshots",
     "finalize_aggregate",
 ]
 
@@ -121,6 +123,57 @@ class SimulationMetrics:
     def h_prime_estimate(self) -> float:
         """§4 estimate from tagged hits (model A form)."""
         return self.tagged_hits / self.requests if self.requests else float("nan")
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Picklable freeze of one collector's accumulated state at run end.
+
+    The cross-process half of exact metric aggregation: a live
+    :class:`MetricsCollector` holds environment/link references and cannot
+    leave its worker process, but everything :func:`finalize_aggregate`
+    reads — counters, accumulators, the four :class:`~repro.des.monitors.
+    Tally` objects, the KPI sketch feed, and the already-computed
+    busy/elapsed intervals — is plain data.  :meth:`MetricsCollector.
+    snapshot` freezes exactly those values, and :meth:`finalize` /
+    :func:`aggregate_snapshots` reproduce the in-process arithmetic
+    bit-for-bit, so a parallel node backend merging worker snapshots gets
+    the identical floats a serial run computes from live collectors
+    (pinned by tests).
+    """
+
+    requests: int
+    hits: int
+    tagged_hits: int
+    prefetches: int
+    remote_probes: int
+    remote_hits: int
+    retrieval_accum: float
+    busy: float
+    elapsed: float
+    access: Tally
+    demand: Tally
+    prefetch: Tally
+    remote: Tally
+
+    def finalize(self) -> SimulationMetrics:
+        """This shard's own metrics — same arithmetic as the live path."""
+        return MetricsCollector._build(
+            requests=self.requests,
+            hits=self.hits,
+            tagged_hits=self.tagged_hits,
+            prefetches=self.prefetches,
+            access_mean=self.access.mean,
+            demand_mean=self.demand.mean,
+            prefetch_mean=self.prefetch.mean,
+            retrieval_accum=self.retrieval_accum,
+            busy=self.busy,
+            elapsed=self.elapsed,
+            links=1,
+            remote_probes=self.remote_probes,
+            remote_hits=self.remote_hits,
+            remote_mean=self.remote.mean if self.remote.count else 0.0,
+        )
 
 
 class MetricsCollector:
@@ -268,6 +321,34 @@ class MetricsCollector:
             elapsed=self.env.now - self._t_start,
         )
 
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze the accumulated state for cross-process aggregation.
+
+        Reads exactly what :meth:`finalize` reads (the server busy-time
+        advance is idempotent at a fixed ``env.now``), so
+        ``snapshot().finalize()`` is bit-identical to ``finalize()`` and
+        :func:`aggregate_snapshots` over worker snapshots is bit-identical
+        to :func:`finalize_aggregate` over the live collectors.
+        """
+        if self._t_start is None:
+            raise RuntimeError("snapshot() before measurement started")
+        self.link.server._advance()
+        return MetricsSnapshot(
+            requests=self._requests,
+            hits=self._hits,
+            tagged_hits=self._tagged_hits,
+            prefetches=self._prefetches,
+            remote_probes=self._remote_probes,
+            remote_hits=self._remote_hits,
+            retrieval_accum=self._retrieval_time_accum,
+            busy=self.link.server._busy_time - self._busy_start,
+            elapsed=self.env.now - self._t_start,
+            access=self.access_time,
+            demand=self.demand_retrieval,
+            prefetch=self.prefetch_retrieval,
+            remote=self.remote_retrieval,
+        )
+
     def finalize(self) -> SimulationMetrics:
         if self._t_start is None:
             raise RuntimeError("finalize() before measurement started")
@@ -351,12 +432,25 @@ def finalize_aggregate(collectors: Sequence[MetricsCollector]) -> SimulationMetr
     """
     if not collectors:
         raise ValueError("finalize_aggregate() needs at least one collector")
-    if len(collectors) == 1:
-        return collectors[0].finalize()
-    first = collectors[0]
-    if first._t_start is None:
-        raise RuntimeError("finalize_aggregate() before measurement started")
-    elapsed = first.env.now - first._t_start
+    return aggregate_snapshots([c.snapshot() for c in collectors])
+
+
+def aggregate_snapshots(snapshots: Sequence[MetricsSnapshot]) -> SimulationMetrics:
+    """Exact global metrics over per-proxy *snapshots*, in node order.
+
+    The snapshot-based twin of :func:`finalize_aggregate` — and since the
+    refactor, its implementation: live collectors are frozen first, then
+    merged here.  Because a snapshot carries precomputed per-shard busy/
+    elapsed intervals and the Tally objects themselves, the arithmetic
+    (and therefore every output bit) is independent of whether the
+    snapshots were taken in this process or shipped back from the
+    parallel node backend's workers.
+    """
+    if not snapshots:
+        raise ValueError("aggregate_snapshots() needs at least one snapshot")
+    if len(snapshots) == 1:
+        return snapshots[0].finalize()
+    elapsed = snapshots[0].elapsed
     busy = 0.0
     access = Tally("access-time")
     demand = Tally("demand-retrieval")
@@ -365,20 +459,19 @@ def finalize_aggregate(collectors: Sequence[MetricsCollector]) -> SimulationMetr
     requests = hits = tagged = prefetches = 0
     remote_probes = remote_hits = 0
     retrieval_accum = 0.0
-    for c in collectors:
-        c.link.server._advance()
-        busy += c.link.server._busy_time - c._busy_start
-        access = access.merge(c.access_time)
-        demand = demand.merge(c.demand_retrieval)
-        prefetch = prefetch.merge(c.prefetch_retrieval)
-        remote = remote.merge(c.remote_retrieval)
-        requests += c._requests
-        hits += c._hits
-        tagged += c._tagged_hits
-        prefetches += c._prefetches
-        remote_probes += c._remote_probes
-        remote_hits += c._remote_hits
-        retrieval_accum += c._retrieval_time_accum
+    for s in snapshots:
+        busy += s.busy
+        access = access.merge(s.access)
+        demand = demand.merge(s.demand)
+        prefetch = prefetch.merge(s.prefetch)
+        remote = remote.merge(s.remote)
+        requests += s.requests
+        hits += s.hits
+        tagged += s.tagged_hits
+        prefetches += s.prefetches
+        remote_probes += s.remote_probes
+        remote_hits += s.remote_hits
+        retrieval_accum += s.retrieval_accum
     return MetricsCollector._build(
         requests=requests,
         hits=hits,
@@ -390,7 +483,7 @@ def finalize_aggregate(collectors: Sequence[MetricsCollector]) -> SimulationMetr
         retrieval_accum=retrieval_accum,
         busy=busy,
         elapsed=elapsed,
-        links=len(collectors),
+        links=len(snapshots),
         remote_probes=remote_probes,
         remote_hits=remote_hits,
         remote_mean=remote.mean if remote.count else 0.0,

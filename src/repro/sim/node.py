@@ -244,10 +244,28 @@ class ProxyNode:
         self.controllers: list["PrefetchController"] = []
         self.caches: list = []
         self.fetch_tables: dict[int, FetchTable] = {}
+        #: False only for the inert *skeleton* nodes a shard-group worker
+        #: of the parallel node backend builds for foreign shards (the
+        #: skeleton keeps node ids/routing/rate arithmetic identical to a
+        #: full build).  Driving such a node — attaching a client, probing
+        #: its caches, serving from its peer link — means the partition
+        #: planner let a cross-shard coupling through; fail loudly rather
+        #: than silently diverge from the serial run.
+        self.shard_local: bool = True
+
+    def _assert_shard_local(self, action: str) -> None:
+        if not self.shard_local:
+            raise SimulationError(
+                f"{action} on node {self.node_id}, which belongs to a "
+                f"different shard group of this parallel run — the node "
+                f"partition let a cross-shard coupling through (bug in "
+                f"plan_node_partition)"
+            )
 
     # ------------------------------------------------------------------
     def attach_client(self, client_id: int, *, controller, cache) -> FetchTable:
         """Home one client at this node and start tracking its fetches."""
+        self._assert_shard_local(f"attach_client({client_id})")
         table = FetchTable(self.env)
         self.clients.append(client_id)
         self.controllers.append(controller)
@@ -266,6 +284,7 @@ class ProxyNode:
         side-effect-free by contract), so probing peers can never perturb
         their eviction behaviour.
         """
+        self._assert_shard_local(f"cooperative probe for {item!r}")
         return any(item in cache for cache in self.caches)
 
     def peer_serve(self, item: Hashable, *, client: int) -> Event:
@@ -276,6 +295,7 @@ class ProxyNode:
         this node's ``peer_link``, so concurrent remote hits served by
         this node share its peer bandwidth processor-sharing style.
         """
+        self._assert_shard_local(f"peer_serve({item!r})")
         if self.peer_link is None:
             raise SimulationError(
                 f"node {self.node_id} has no peer link (cooperation disabled)"

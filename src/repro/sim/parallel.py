@@ -27,12 +27,15 @@ ProcessPoolExecutor` with the guarantees the experiment layer needs:
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence, TypeVar
 
 __all__ = [
@@ -41,6 +44,19 @@ __all__ = [
     "resolve_jobs",
     "get_default_jobs",
     "set_default_jobs",
+    # conservative parallel node backend (PR 9)
+    "ShardMessage",
+    "NodePartition",
+    "NodeShardPayload",
+    "merge_message_batches",
+    "deliver_messages",
+    "run_windows",
+    "plan_node_partition",
+    "effective_node_workers",
+    "run_node_shards",
+    "node_backend_session",
+    "get_default_node_backend",
+    "set_default_node_backend",
 ]
 
 T = TypeVar("T")
@@ -161,3 +177,351 @@ class ReplicationExecutor:
                 return list(results)
         except BrokenProcessPool:
             return [fn(item) for item in items]
+
+
+# ======================================================================
+# Conservative parallel node backend (PR 9)
+# ======================================================================
+#
+# ``node_backend="parallel"`` splits one simulation's proxy tier into
+# *shard groups*, runs each group's event loop in a worker process, and
+# synchronizes the loops with the classic conservative lookahead-window
+# protocol: a shard may run at most one *lookahead window* ahead of its
+# peers, and at each window barrier the shards exchange timestamped
+# :class:`ShardMessage` batches which are merged in deterministic
+# ``(time, priority, sender, seq)`` order before anyone proceeds.  The
+# window is derived at build time from the topology's cross-node latency
+# channels (:meth:`repro.network.topology.TopologyConfig.lookahead`).
+#
+# The backend's contract is the same one :class:`ReplicationExecutor`
+# and the aggregated client backend pin: **bit-identical output** for
+# every topology and cooperation mode.  That contract shapes the
+# partition three ways:
+#
+# * **Decoupled tiers parallelise fully.**  Client-affinity routing
+#   without cooperation (and without the shared-RNG couplings below) has
+#   *no* cross-node channels: each proxy's clients, caches, link and
+#   metrics shard form a closed subsystem, and name-keyed RNG streams
+#   (``RandomStreams.get("client{c}/...")`` derives from seed+name, not
+#   draw order) mean a worker building only its node's clients draws the
+#   identical randomness.  The per-node event sequence of the serial
+#   global heap *projects* exactly onto an isolated per-node heap —
+#   relative insertion order of one node's events is preserved and no
+#   state is shared — so each shard group gets lookahead ∞: one window,
+#   no barriers, and bitwise the serial result.
+# * **Zero-lookahead couplings stay on one loop.**  Cooperative probes
+#   read the holder's cache state at the probe instant and resolve
+#   misses at the prober in the same instant; item-hash routing submits
+#   fetches on remote uplinks with zero latency; stochastic lazily-
+#   sampled item sizes share one origin RNG whose draw order is global;
+#   trace replay drives every shard from one merged recorded stream.
+#   Each of these is a zero-latency channel — a conservative window of
+#   width 0 cannot make progress — so :func:`plan_node_partition` keeps
+#   the coupled nodes in a single group (degrading to the serial loop
+#   when that group is the whole tier), with a warning naming the
+#   coupling, rather than ship answers that drift from serial.
+# * **The window machinery is exact by construction.**  Splitting
+#   ``run(until=T)`` at any set of barrier points is bit-identical to
+#   running straight through (``Environment.run_window`` pins this), and
+#   the barrier merge order is a pure function of the message tuples —
+#   never of worker scheduling.
+_default_node_backend: str = "serial"
+_default_node_workers: int | None = None
+
+#: One-shot latch for the oversubscription warning (reset by tests).
+_oversub_warned: bool = False
+
+
+def get_default_node_backend() -> tuple[str, int | None]:
+    """The session-wide ``(node_backend, node_workers)`` default."""
+    return _default_node_backend, _default_node_workers
+
+
+def set_default_node_backend(backend: str, workers: int | None = None) -> None:
+    """Set the session default picked up by configs that don't specify one.
+
+    The CLI's ``--node-backend`` / ``--node-workers`` flags land here, so
+    experiments that build their own configs transparently adopt the
+    backend (a config explicitly requesting ``parallel`` keeps its own
+    ``node_workers``).  Purely an execution knob — results are identical.
+    """
+    global _default_node_backend, _default_node_workers
+    from repro.sim.config import NODE_BACKENDS
+
+    if backend not in NODE_BACKENDS:
+        raise ValueError(
+            f"unknown node_backend {backend!r}; known: {NODE_BACKENDS}"
+        )
+    _default_node_backend = backend
+    _default_node_workers = None if workers is None else max(1, int(workers))
+
+
+@contextmanager
+def node_backend_session(
+    backend: str | None, workers: int | None = None
+) -> Iterator[None]:
+    """Scoped override of the node-backend default (``None`` = no-op)."""
+    global _default_node_backend, _default_node_workers
+    if backend is None:
+        yield
+        return
+    previous = (_default_node_backend, _default_node_workers)
+    set_default_node_backend(backend, workers)
+    try:
+        yield
+    finally:
+        _default_node_backend, _default_node_workers = previous
+
+
+@dataclass(frozen=True)
+class ShardMessage:
+    """One timestamped cross-shard event, totally ordered for the merge.
+
+    ``(time, priority, sender, seq)`` is the deterministic merge key:
+    ``time``/``priority`` mirror the heap ordering inside an
+    :class:`~repro.des.environment.Environment`, ``sender`` (the
+    originating shard's id) breaks cross-shard ties the way the serial
+    heap's insertion counter would, and ``seq`` (the sender's running
+    message counter) preserves each sender's emission order.  The key is
+    a pure function of the message — worker completion order cannot
+    reshuffle a barrier's merge.
+    """
+
+    time: float
+    priority: int
+    sender: int
+    seq: int
+    payload: Any = field(default=None, compare=False)
+
+    @property
+    def key(self) -> tuple[float, int, int, int]:
+        return (self.time, self.priority, self.sender, self.seq)
+
+
+def merge_message_batches(
+    batches: Sequence[Sequence[ShardMessage]],
+) -> list[ShardMessage]:
+    """Merge per-sender message batches into one deterministic sequence."""
+    merged = [message for batch in batches for message in batch]
+    merged.sort(key=lambda m: m.key)
+    return merged
+
+
+def deliver_messages(
+    env, messages: Sequence[ShardMessage], handler: Callable[[ShardMessage], Any]
+) -> None:
+    """Schedule merged barrier messages onto a shard's event loop.
+
+    Each message becomes a ``call_at`` entry at its timestamp, inserted in
+    merge order — so equal-time messages fire in exactly their merged
+    ``(time, priority, sender, seq)`` order (insertion order breaks heap
+    ties).  Conservative windows guarantee ``message.time >= env.now`` at
+    a barrier: a message sent during the previous window at ``t`` carries
+    ``t + lookahead >= barrier`` by the window-size invariant
+    (``window <= lookahead``); ``call_at`` enforces it.
+    """
+    for message in messages:
+        env.call_at(
+            message.time,
+            lambda event, m=message: handler(m),
+            message,
+        )
+
+
+def run_windows(
+    env,
+    *,
+    until: float,
+    window: float,
+    drain: Callable[[float], Sequence[ShardMessage]] | None = None,
+    handler: Callable[[ShardMessage], Any] | None = None,
+) -> int:
+    """Advance one shard's event loop to ``until`` in conservative windows.
+
+    The per-shard half of the barrier protocol: at each barrier (window
+    boundary, starting with the current time) the shard first asks
+    ``drain(now)`` for the messages its peers sent during the previous
+    window — already merged via :func:`merge_message_batches` — delivers
+    them through ``handler``, then drains its own heap up to the next
+    barrier with :meth:`~repro.des.environment.Environment.run_window`.
+    Returns the number of windows executed.  With ``window >= until - now``
+    (infinite lookahead) this degenerates to one window and zero mid-run
+    barriers — the fully-decoupled fast path.
+    """
+    if window <= 0 or math.isnan(window):
+        raise ValueError(f"window must be > 0, got {window!r}")
+    windows = 0
+    while env.now < until:
+        if drain is not None:
+            messages = drain(env.now)
+            if messages:
+                deliver_messages(env, messages, handler)
+        env.run_window(min(env.now + window, until))
+        windows += 1
+    return windows
+
+
+@dataclass(frozen=True)
+class NodePartition:
+    """How a config's proxy tier splits into independently-runnable groups.
+
+    ``groups`` are tuples of node ids in ascending order; ``window`` is
+    the conservative lookahead between groups (``inf`` when they share no
+    channels); ``reasons`` is non-empty exactly when the tier could not be
+    split (one coupled group) and names every zero-lookahead coupling so
+    the fallback warning — and the docs — can say *why*.
+    """
+
+    groups: tuple[tuple[int, ...], ...]
+    window: float
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def parallel(self) -> bool:
+        """True when there is more than one group to fan out."""
+        return len(self.groups) > 1
+
+
+def plan_node_partition(config) -> NodePartition:
+    """Partition a config's proxy tier for the parallel node backend.
+
+    Applies the bit-identity analysis documented at the top of this
+    section: nodes whose subsystems are provably closed (client-affinity
+    routing, no cooperation, deterministic item sizes, synthetic
+    arrivals) each form their own group with infinite lookahead; any
+    zero-lookahead coupling collapses the tier into one group, and the
+    ``reasons`` name each coupling.
+    """
+    from repro.workload.sizes import FixedSize
+
+    topo = config.topology
+    spec = config.workload
+    reasons: list[str] = []
+    if topo.num_proxies == 1:
+        reasons.append("the tier has a single proxy (nothing to shard)")
+    if config.trace_path is not None:
+        reasons.append(
+            "trace replay drives every shard from one merged recorded stream"
+        )
+    if topo.num_proxies > 1 and topo.routing == "item-hash":
+        reasons.append(
+            "item-hash routing submits fetches on remote-owned uplinks at "
+            "the request instant (zero-lookahead channel), and prefetch "
+            "planners read tier-wide offered load"
+        )
+    if topo.num_proxies > 1 and topo.cooperation.enabled:
+        reasons.append(
+            "cooperative probes read peer cache state when the probe lands "
+            "and probe misses resolve at the prober in the same instant "
+            "(zero-lookahead channels)"
+        )
+    sizes = spec.size_distribution
+    if sizes is not None and not isinstance(sizes, FixedSize):
+        reasons.append(
+            "stochastic item sizes are sampled lazily from one shared "
+            "origin RNG stream whose draw order is global (first touch "
+            "anywhere fixes the size everywhere)"
+        )
+    window = topo.lookahead(mean_item_size=spec.mean_item_size).window
+    if reasons:
+        groups: tuple[tuple[int, ...], ...] = (tuple(range(topo.num_proxies)),)
+    else:
+        groups = tuple((node,) for node in range(topo.num_proxies))
+    return NodePartition(groups=groups, window=window, reasons=tuple(reasons))
+
+
+def effective_node_workers(requested: int | None, num_groups: int) -> int:
+    """Resolve the node-worker fan-out, guarding against oversubscription.
+
+    ``requested=None`` falls back to the session default (CLI
+    ``--node-workers``), then to one worker per group up to the core
+    count.  The guard: node workers multiply with replication ``jobs``
+    (each replication worker may fan out its own node workers), so when
+    ``node_workers × jobs`` exceeds ``os.cpu_count()`` the fan-out is
+    capped at ``cpu_count // jobs`` and ONE warning is emitted for the
+    session — previously the ``--jobs`` composition was unchecked.
+    Results are identical for every worker count, so capping is purely a
+    throughput decision.
+    """
+    global _oversub_warned
+    if requested is None:
+        requested = _default_node_workers
+    cpus = os.cpu_count() or 1
+    if requested is None:
+        workers = min(num_groups, cpus)
+    else:
+        workers = max(1, int(requested))
+    jobs = max(1, _default_jobs)
+    if workers > 1 and workers * jobs > cpus:
+        capped = max(1, cpus // jobs)
+        if capped < workers and not _oversub_warned:
+            _oversub_warned = True
+            warnings.warn(
+                f"node_workers={workers} x jobs={jobs} would oversubscribe "
+                f"{cpus} CPU core(s); capping node workers at {capped} "
+                f"(results are identical, only wall-clock changes)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        workers = min(workers, capped)
+    return max(1, min(workers, num_groups))
+
+
+@dataclass(frozen=True)
+class NodeShardPayload:
+    """One proxy node's complete share of a run, shipped back to the parent.
+
+    Everything ``Simulation.run`` reads off a node after the loop ends,
+    in picklable form: the metrics snapshot (exact aggregation input),
+    the KPI shard, link/peer accounting, and the per-entity stats rows
+    tagged with their global build-order key (client id for the
+    per-client backend, class id for the aggregated backend) so the
+    parent reassembles the serial output's exact list order.
+    """
+
+    node_id: int
+    clients: tuple[int, ...]
+    snapshot: Any  # MetricsSnapshot
+    kpi: Any  # KPIShard
+    bandwidth: float
+    link_demand_fetches: int
+    link_prefetch_fetches: int
+    link_prefetch_bytes: float
+    link_demand_bytes: float
+    peer_fetches: int
+    peer_bytes: float
+    #: (global build-order key, cache stats, controller stats) per entity
+    entity_rows: tuple = ()
+    #: ClientClassStats rows of this node's classes (aggregated backend)
+    class_rows: tuple = ()
+
+
+def _run_shard_group(task) -> list[NodeShardPayload]:
+    """Worker entry point: build and run one shard group to completion.
+
+    Top-level (picklable) on purpose.  The import is deferred — this
+    module must stay importable without dragging the whole simulation
+    stack into every consumer of :class:`ReplicationExecutor`.
+    """
+    config, group, window = task
+    from repro.sim.simulation import Simulation
+
+    return Simulation(config, only_nodes=group).run_shard(window=window)
+
+
+def run_node_shards(
+    config, plan: NodePartition, *, workers: int | None = None
+) -> list[NodeShardPayload]:
+    """Fan a partitioned simulation's shard groups over worker processes.
+
+    Reuses :class:`ReplicationExecutor` for the pool discipline — order-
+    preserving map, serial in-process fallback for ``workers=1`` /
+    daemonic contexts / unpicklable configs / restricted sandboxes — so
+    the node backend degrades exactly like replication parallelism does,
+    and every degradation is still bit-identical.  Payloads come back
+    flattened in ascending node order (groups are built that way).
+    """
+    tasks = [(config, group, plan.window) for group in plan.groups]
+    workers = effective_node_workers(workers, len(tasks))
+    grouped = ReplicationExecutor(jobs=workers).map(_run_shard_group, tasks)
+    return [payload for payloads in grouped for payload in payloads]

@@ -41,8 +41,10 @@ a shard (its homed clients' requests, its link's utilisation) and
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Hashable, Sequence
 
 from repro.cache.interaction import make_cache
 from repro.core.parameters import SystemParameters
@@ -76,9 +78,17 @@ from repro.sim.metrics import (
     ClientClassStats,
     MetricsCollector,
     SimulationMetrics,
+    aggregate_snapshots,
     finalize_aggregate,
 )
 from repro.sim.node import ProxyNode
+from repro.sim.parallel import (
+    NodeShardPayload,
+    get_default_node_backend,
+    plan_node_partition,
+    run_node_shards,
+    run_windows,
+)
 from repro.workload.aggregate import AggregateClassSource, partition_client_classes
 from repro.workload.arrivals import PoissonArrivals
 from repro.workload.markov_source import MarkovChainSource
@@ -246,10 +256,28 @@ class Simulation:
     handling, fetch tables, metric shards — lives on the nodes.
     """
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        only_nodes: Sequence[int] | None = None,
+    ) -> None:
         self.config = config
         self.streams = RandomStreams(config.seed)
         self.env = Environment()
+        #: shard-group restriction of the parallel node backend: a worker
+        #: builds the whole tier's *skeleton* (nodes/links/origin views,
+        #: so node ids, routing and rate arithmetic match the serial
+        #: build exactly) but only the clients homed at these nodes.
+        #: ``None`` — the normal full build.
+        self.only_nodes: tuple[int, ...] | None = (
+            None if only_nodes is None else tuple(sorted(int(n) for n in only_nodes))
+        )
+        #: the partition driving a parallel-dispatch run (parent process
+        #: of a ``node_backend="parallel"`` simulation); None on every
+        #: serial/worker path.
+        self._plan = None
+        self._node_workers: int | None = None
         spec = config.workload
         self.replay: TraceReplaySource | None = None
         if config.trace_path is not None:
@@ -289,13 +317,57 @@ class Simulation:
         self.nodes[0].origin = origin
         for node in self.nodes[1:]:
             node.origin = origin.with_link(node.link)
+        if self.only_nodes is not None:
+            for node_id in self.only_nodes:
+                if not 0 <= node_id < len(self.nodes):
+                    raise ConfigurationError(
+                        f"only_nodes contains unknown proxy {node_id} "
+                        f"(num_proxies={len(self.nodes)})"
+                    )
+            owned = set(self.only_nodes)
+            for node in self.nodes:
+                # Foreign skeleton nodes must stay inert: any event that
+                # would drive one inside this worker is a partition bug,
+                # and the node itself raises on it (see ProxyNode).
+                node.shard_local = node.node_id in owned
         self._bind_router()
         self.clients: list[PrefetchController] = []
         self._caches = []
         #: homogeneous classes of an aggregated-backend run, aligned
         #: index-for-index with ``clients``/``_caches`` (empty per-client)
         self.client_classes = []
+        if self.only_nodes is None and self._resolve_node_backend() == "parallel":
+            plan = plan_node_partition(config)
+            if plan.parallel:
+                # Parent of a parallel run: a dispatcher, not a builder —
+                # the workers build (only) their own shard's clients.
+                self._plan = plan
+                return
+            warnings.warn(
+                "node_backend='parallel' falls back to the serial event "
+                "loop (results are identical): " + "; ".join(plan.reasons),
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self._build_clients()
+
+    def _resolve_node_backend(self) -> str:
+        """Effective backend: the config's, or the session default.
+
+        A config explicitly asking for ``parallel`` always gets it; a
+        default (``serial``) config adopts the session-wide backend set by
+        the CLI's ``--node-backend`` flag, mirroring how ``--jobs`` reaches
+        replication runs.  ``node_workers`` resolves the same way (the
+        config's own value wins).
+        """
+        backend = self.config.node_backend
+        self._node_workers = self.config.node_workers
+        session_backend, session_workers = get_default_node_backend()
+        if backend == "serial" and session_backend == "parallel":
+            backend = "parallel"
+            if self._node_workers is None:
+                self._node_workers = session_workers
+        return backend
 
     # ------------------------------------------------------------------
     # Topology plumbing
@@ -440,6 +512,26 @@ class Simulation:
             return self.replay.num_clients
         return self.config.workload.num_clients
 
+    def _owns_node(self, node_id: int) -> bool:
+        """Whether this build realises the given node's clients.
+
+        Always true for a full build; a shard-group worker realises only
+        its own nodes.  Skipping a foreign client is *exact*, not an
+        approximation: RNG streams are name-keyed (seed + stream name, not
+        draw order), so the owned clients draw identical randomness with
+        or without their neighbours, and the per-node event order of the
+        serial global heap projects unchanged onto the shard's isolated
+        heap (no shared state, relative insertion order preserved).
+        """
+        return self.only_nodes is None or node_id in self._owned_set
+
+    @property
+    def _owned_set(self) -> set[int]:
+        owned = self.__dict__.get("_owned_cache")
+        if owned is None:
+            owned = self.__dict__["_owned_cache"] = set(self.only_nodes or ())
+        return owned
+
     def _build_clients(self) -> None:
         config = self.config
         if config.client_backend == "aggregated":
@@ -452,6 +544,8 @@ class Simulation:
         # path, untouched by the phases feature).
         schedule = spec.make_schedule()
         for node in self.nodes:
+            if not self._owns_node(node.node_id):
+                continue
             self.env.process(node.collector.warmup_process())
         # Offered rate per node: a static threshold policy must see the
         # load its *own* uplink carries, not the whole tier's — the tier
@@ -468,6 +562,8 @@ class Simulation:
                 node_rates[topo.home_of(c)] += spec.rate_of(c) * avg_mult
         for c in range(self.num_clients):
             node = self.nodes[topo.home_of(c)]
+            if not self._owns_node(node.node_id):
+                continue
             if schedule is None:
                 source = spec.make_source(c, self.streams)
                 phase_sources = None
@@ -541,9 +637,17 @@ class Simulation:
         spec = config.workload
         schedule = spec.make_schedule()
         for node in self.nodes:
+            if not self._owns_node(node.node_id):
+                continue
             self.env.process(node.collector.warmup_process())
         classes = partition_client_classes(spec, topo)
-        self.client_classes = classes
+        # A shard worker keeps only its nodes' classes in the aligned
+        # clients/_caches/client_classes lists; the *full* class list still
+        # feeds the node-rate arithmetic below so policies see the same
+        # floats as a serial build.
+        self.client_classes = [
+            cls for cls in classes if self._owns_node(cls.node_id)
+        ]
         # Offered rate per node, mirroring the per-client loop: one proxy
         # keeps the spec's exact aggregate; otherwise sum class rates in
         # representative (= lowest client id) order, which for singleton
@@ -559,6 +663,8 @@ class Simulation:
             for cls in classes:
                 node_rates[cls.node_id] += cls.request_rate * avg_mult
         for cls in classes:
+            if not self._owns_node(cls.node_id):
+                continue
             node = self.nodes[cls.node_id]
             rep = cls.representative
             label = cls.stream_label
@@ -687,6 +793,8 @@ class Simulation:
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationOutput:
+        if self._plan is not None:
+            return self._run_parallel()
         self.env.run(until=self.config.duration)
         shards = tuple(
             ProxyShardStats(
@@ -741,6 +849,163 @@ class Simulation:
             metrics=metrics,
             cache_stats=[c.stats for c in self._caches],
             controller_stats=[c.stats for c in self.clients],
+            link_demand_fetches=sum(s.link_demand_fetches for s in shards),
+            link_prefetch_fetches=sum(s.link_prefetch_fetches for s in shards),
+            link_prefetch_bytes=prefetch_bytes,
+            link_demand_bytes=demand_bytes,
+            per_proxy=shards,
+            peer_fetches=sum(s.peer_fetches for s in shards),
+            peer_bytes=peer_bytes,
+            client_classes=class_rows,
+            kpis=kpis,
+        )
+
+    # ------------------------------------------------------------------
+    # Parallel node backend (PR 9)
+    # ------------------------------------------------------------------
+    def run_shard(self, *, window: float | None = None) -> list[NodeShardPayload]:
+        """Run a shard-group build to completion; return per-node payloads.
+
+        The worker half of the parallel node backend: the event loop
+        advances through :func:`~repro.sim.parallel.run_windows` — one
+        conservative window at a time when the partition derived a finite
+        lookahead, one single window (no barriers) for fully-decoupled
+        groups — and every node this build owns is frozen into a picklable
+        :class:`~repro.sim.parallel.NodeShardPayload`.  Window-bounded
+        draining is bit-identical to one straight ``run`` (pinned at the
+        environment level), so the payloads never depend on the window.
+        """
+        duration = self.config.duration
+        if window is None or not math.isfinite(window) or window <= 0:
+            window = duration
+        run_windows(self.env, until=duration, window=window)
+        owned = (
+            self.only_nodes
+            if self.only_nodes is not None
+            else tuple(range(len(self.nodes)))
+        )
+        if self.config.client_backend == "aggregated":
+            # Build-order key = class id (partition order IS build order).
+            entity_rows = {
+                node_id: [] for node_id in owned
+            }
+            for cls, controller, cache in zip(
+                self.client_classes, self.clients, self._caches
+            ):
+                entity_rows[cls.node_id].append(
+                    (cls.class_id, cache.stats, controller.stats)
+                )
+        else:
+            # Build-order key = client id (ascending-id build loop).
+            entity_rows = {node_id: [] for node_id in owned}
+            for node_id in owned:
+                node = self.nodes[node_id]
+                entity_rows[node_id] = [
+                    (client_id, cache.stats, controller.stats)
+                    for client_id, cache, controller in zip(
+                        node.clients, node.caches, node.controllers
+                    )
+                ]
+        class_rows = {node_id: [] for node_id in owned}
+        for cls, controller, cache in zip(
+            self.client_classes, self.clients, self._caches
+        ):
+            class_rows[cls.node_id].append(
+                ClientClassStats(
+                    class_id=cls.class_id,
+                    node_id=cls.node_id,
+                    num_members=cls.size,
+                    representative=cls.representative,
+                    request_rate=cls.request_rate,
+                    requests=controller.stats.requests,
+                    cache_hits=cache.stats.hits,
+                    cache_misses=cache.stats.misses,
+                    prefetches_issued=controller.stats.prefetches_issued,
+                    prefetches_completed=controller.stats.prefetches_completed,
+                )
+            )
+        payloads = []
+        for node_id in owned:
+            node = self.nodes[node_id]
+            payloads.append(
+                NodeShardPayload(
+                    node_id=node.node_id,
+                    clients=tuple(node.clients),
+                    snapshot=node.collector.snapshot(),
+                    kpi=node.collector.kpi_shard(node.node_id),
+                    bandwidth=node.bandwidth,
+                    link_demand_fetches=node.link.demand_fetches,
+                    link_prefetch_fetches=node.link.prefetch_fetches,
+                    link_prefetch_bytes=node.link.prefetch_bytes,
+                    link_demand_bytes=node.link.demand_bytes,
+                    peer_fetches=(
+                        node.peer_link.peer_fetches if node.peer_link else 0
+                    ),
+                    peer_bytes=(
+                        node.peer_link.peer_bytes if node.peer_link else 0.0
+                    ),
+                    entity_rows=tuple(entity_rows[node_id]),
+                    class_rows=tuple(class_rows[node_id]),
+                )
+            )
+        return payloads
+
+    def _run_parallel(self) -> SimulationOutput:
+        """Dispatch the partitioned tier to workers; merge exactly.
+
+        Reassembles the serial :meth:`run` output bit-for-bit from the
+        shipped payloads: shards in node order, the tier aggregate through
+        the same :func:`~repro.sim.metrics.aggregate_snapshots` arithmetic
+        the serial path uses, per-entity stats lists re-interleaved by
+        their global build-order keys, and KPIs from the per-node shards
+        exactly as the serial path computes them.
+        """
+        payloads = run_node_shards(
+            self.config, self._plan, workers=self._node_workers
+        )
+        payloads.sort(key=lambda p: p.node_id)
+        shards = tuple(
+            ProxyShardStats(
+                node_id=p.node_id,
+                clients=p.clients,
+                metrics=p.snapshot.finalize(),
+                bandwidth=p.bandwidth,
+                link_demand_fetches=p.link_demand_fetches,
+                link_prefetch_fetches=p.link_prefetch_fetches,
+                link_prefetch_bytes=p.link_prefetch_bytes,
+                link_demand_bytes=p.link_demand_bytes,
+                peer_fetches=p.peer_fetches,
+                peer_bytes=p.peer_bytes,
+            )
+            for p in payloads
+        )
+        if len(shards) == 1:
+            metrics = shards[0].metrics
+        else:
+            metrics = aggregate_snapshots([p.snapshot for p in payloads])
+        entity_rows = sorted(
+            (row for p in payloads for row in p.entity_rows),
+            key=lambda row: row[0],
+        )
+        class_rows = tuple(
+            sorted(
+                (row for p in payloads for row in p.class_rows),
+                key=lambda row: row.class_id,
+            )
+        )
+        demand_bytes = sum(s.link_demand_bytes for s in shards)
+        prefetch_bytes = sum(s.link_prefetch_bytes for s in shards)
+        peer_bytes = sum(s.peer_bytes for s in shards)
+        kpis = RunKPIs.from_shards(
+            tuple(p.kpi for p in payloads),
+            demand_bytes=demand_bytes,
+            prefetch_bytes=prefetch_bytes,
+            peer_bytes=peer_bytes,
+        )
+        return SimulationOutput(
+            metrics=metrics,
+            cache_stats=[row[1] for row in entity_rows],
+            controller_stats=[row[2] for row in entity_rows],
             link_demand_fetches=sum(s.link_demand_fetches for s in shards),
             link_prefetch_fetches=sum(s.link_prefetch_fetches for s in shards),
             link_prefetch_bytes=prefetch_bytes,

@@ -106,7 +106,14 @@ __all__ = [
 #:     can never alias its stationary twin), SimulationOutput grew a
 #:     ``kpis`` scorecard stored with cached results, and metric shards
 #:     now carry quantile sketches older readers cannot interpret.
-CACHE_SCHEMA_VERSION = 7
+#: v8: parallel node backend (PR 9): SimulationConfig grew
+#:     ``node_backend``/``node_workers``.  Unlike every earlier config
+#:     field these are *execution* knobs — the backend is bit-identical
+#:     by contract — so :func:`scenario_hash` normalises them away
+#:     (serial and parallel runs of one scenario share a cache entry,
+#:     and a warm cache serves both); the version bump only covers the
+#:     dataclass gaining fields at all.
+CACHE_SCHEMA_VERSION = 8
 
 
 # ----------------------------------------------------------------------
@@ -166,6 +173,14 @@ def scenario_hash(
         from repro.workload.replay import trace_digest
 
         config = replace(config, trace_path=f"sha256:{trace_digest(trace_path)}")
+    if getattr(config, "node_backend", "serial") != "serial" or (
+        getattr(config, "node_workers", None) is not None
+    ):
+        # Execution knobs, not scenario identity: the parallel node
+        # backend is bit-identical to serial (pinned by tests), so both
+        # must hash to the same cache key — a warm serial cache serves
+        # parallel sessions and vice versa.
+        config = replace(config, node_backend="serial", node_workers=None)
     material = (
         "repro-sweep",
         CACHE_SCHEMA_VERSION,

@@ -213,5 +213,11 @@ def test_catalog_scenarios_compile(path):
     config = compile_config(spec)
     points = expand_points(spec)
     assert points
-    assert spec.workload.phases  # the catalog exists to exercise phases
-    assert config.workload.phases is not None
+    # every catalog file exercises a non-default shape: a phased workload
+    # (the PR 8 load-shape catalog) or a non-serial execution backend
+    # (the PR 9 saturated tier)
+    if spec.system.node_backend in (None, "serial"):
+        assert spec.workload.phases
+        assert config.workload.phases is not None
+    else:
+        assert config.node_backend == spec.system.node_backend

@@ -1,0 +1,624 @@
+"""Conservative parallel node backend (PR 9): bit-identity and protocol.
+
+Three layers of coverage:
+
+* the **protocol primitives** — ``Environment.run_window`` window
+  splitting, the ``ShardMessage`` merge order, ``run_windows`` barrier
+  loop — pinned against their serial equivalents;
+* the **partition planner** — which configs shard into singleton groups
+  (infinite lookahead) and which collapse into one coupled group with
+  named reasons, plus the oversubscription guard on the worker fan-out;
+* the **cross-backend determinism fuzz** — a spread of seeded configs
+  (topologies x routing x cooperation x phases x client backends) where
+  ``node_backend="parallel"`` must reproduce the serial event loop
+  bit-for-bit: headline metrics, per-shard rows, per-entity cache and
+  controller stats, class rows and the KPI scorecard.  The single-proxy
+  pinned scenario from ``test_topology`` must come out identical too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import warnings
+
+import pytest
+
+import test_topology  # same-directory test module: pinned seed scenario
+
+import repro.sim.parallel as parallel_mod
+from repro.des.environment import Environment
+from repro.errors import SimulationError
+from repro.network.topology import CooperationConfig, TopologyConfig
+from repro.scenario import ScenarioError, compile_config, parse_scenario
+from repro.sim.config import SimulationConfig
+from repro.sim.kpis import QuantileSketch
+from repro.sim.metrics import aggregate_snapshots
+from repro.sim.parallel import (
+    ShardMessage,
+    deliver_messages,
+    effective_node_workers,
+    get_default_node_backend,
+    merge_message_batches,
+    node_backend_session,
+    plan_node_partition,
+    run_windows,
+    set_default_node_backend,
+)
+from repro.sim.simulation import Simulation, run_simulation
+from repro.sim.sweep import scenario_hash
+from repro.workload.phases import PhaseSpec
+from repro.workload.sessions import WorkloadSpec
+from repro.workload.sizes import ExponentialSize
+
+
+# ----------------------------------------------------------------------
+# Output comparison: full structural equality, NaN-aware
+# ----------------------------------------------------------------------
+
+
+def canon(value):
+    """Canonical comparable form of a simulation output tree."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canon(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, QuantileSketch):
+        return {
+            "zeros": value.zeros,
+            "bins": dict(value.bins),
+            "count": value.count,
+            "total": value.total,
+            "min": value.min,
+            "max": value.max,
+        }
+    if isinstance(value, (list, tuple)):
+        return [canon(v) for v in value]
+    if isinstance(value, dict):
+        return {k: canon(v) for k, v in value.items()}
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    return value
+
+
+def assert_outputs_identical(a, b):
+    assert canon(a) == canon(b)
+
+
+# ----------------------------------------------------------------------
+# Protocol primitives: run_window / messages / run_windows
+# ----------------------------------------------------------------------
+
+
+def _scripted_env(log):
+    """An environment with interleaved processes and timers to drain."""
+    env = Environment()
+
+    def ticker(period, label, count):
+        for _ in range(count):
+            yield env.timeout(period)
+            log.append((env.now, label))
+
+    env.process(ticker(0.7, "a", 12))
+    env.process(ticker(1.1, "b", 8))
+    env.process(ticker(0.7, "c", 12))  # ties with "a" at every multiple
+    env.call_at(3.5, lambda event: log.append((env.now, "timer")))
+    return env
+
+
+def test_run_window_matches_run():
+    serial_log, window_log = [], []
+    serial = _scripted_env(serial_log)
+    serial.run(until=9.0)
+    windowed = _scripted_env(window_log)
+    deadline, processed = 0.0, 0
+    while deadline < 9.0:
+        deadline = min(deadline + 0.9, 9.0)  # boundaries hit event times too
+        processed += windowed.run_window(deadline)
+    assert window_log == serial_log
+    assert windowed.now == serial.now == 9.0
+    # one single window processes exactly the same number of events
+    single_log = []
+    single = _scripted_env(single_log)
+    assert single.run_window(9.0) == processed
+    assert single_log == serial_log
+    # a coarser, irregular split pattern lands on identical history too
+    third_log = []
+    third = _scripted_env(third_log)
+    for stop in (0.35, 0.7, 2.0, 2.0, 8.999, 9.0):
+        third.run_window(stop)
+    assert third_log == serial_log
+
+
+def test_run_window_rejects_past_deadline():
+    env = Environment()
+    env.run_window(2.0)
+    with pytest.raises(SimulationError, match="in the past"):
+        env.run_window(1.0)
+
+
+def test_run_window_returns_processed_count():
+    log = []
+    env = Environment()
+    for t in (0.5, 1.5, 2.5):
+        env.call_at(t, lambda event: log.append(env.now))
+    assert env.run_window(1.0) == 1
+    assert env.run_window(2.0) == 1
+    assert env.run_window(2.4) == 0
+    assert env.run_window(3.0) == 1
+    assert log == [0.5, 1.5, 2.5]
+
+
+def test_merge_message_batches_deterministic_total_order():
+    def msg(time, priority, sender, seq, payload=None):
+        return ShardMessage(
+            time=time, priority=priority, sender=sender, seq=seq, payload=payload
+        )
+
+    batch_a = [msg(1.0, 0, 0, 0), msg(2.0, 0, 0, 1), msg(2.0, 1, 0, 2)]
+    batch_b = [msg(1.0, 0, 1, 0), msg(2.0, 0, 1, 1)]
+    merged = merge_message_batches([batch_a, batch_b])
+    assert [m.key for m in merged] == [
+        (1.0, 0, 0, 0),
+        (1.0, 0, 1, 0),
+        (2.0, 0, 0, 1),
+        (2.0, 0, 1, 1),
+        (2.0, 1, 0, 2),
+    ]
+    # batch arrival order (worker completion order) cannot change the merge
+    flipped = merge_message_batches([batch_b, batch_a])
+    assert flipped == merged
+
+
+def test_deliver_messages_fires_in_merge_order():
+    env = Environment()
+    fired = []
+    messages = merge_message_batches(
+        [
+            [ShardMessage(1.0, 0, 1, 0, payload="s1#0")],
+            [
+                ShardMessage(1.0, 0, 0, 0, payload="s0#0"),
+                ShardMessage(1.0, 0, 0, 1, payload="s0#1"),
+                ShardMessage(2.0, 0, 0, 2, payload="late"),
+            ],
+        ]
+    )
+    deliver_messages(env, messages, lambda m: fired.append((env.now, m.payload)))
+    env.run(until=3.0)
+    assert fired == [
+        (1.0, "s0#0"),
+        (1.0, "s0#1"),
+        (1.0, "s1#0"),
+        (2.0, "late"),
+    ]
+
+
+def test_run_windows_barrier_loop_with_drain():
+    env = Environment()
+    fired = []
+    barriers = []
+    inbox = {
+        0.0: [],
+        1.5: [ShardMessage(2.0, 0, 1, 0, payload="w1")],
+        3.0: [ShardMessage(4.0, 0, 1, 1, payload="w2")],
+        4.5: [],
+    }
+
+    def drain(now):
+        barriers.append(now)
+        return inbox.get(now, [])
+
+    windows = run_windows(
+        env,
+        until=6.0,
+        window=1.5,
+        drain=drain,
+        handler=lambda m: fired.append((env.now, m.payload)),
+    )
+    assert windows == 4
+    assert barriers == [0.0, 1.5, 3.0, 4.5]
+    assert fired == [(2.0, "w1"), (4.0, "w2")]
+    assert env.now == 6.0
+
+
+def test_run_windows_single_window_for_infinite_lookahead():
+    env = Environment()
+    hits = []
+    env.call_at(2.0, lambda event: hits.append(env.now))
+    assert run_windows(env, until=5.0, window=math.inf) == 1
+    assert hits == [2.0]
+    assert env.now == 5.0
+
+
+def test_run_windows_rejects_degenerate_window():
+    for bad in (0.0, -1.0, math.nan):
+        with pytest.raises(ValueError, match="window must be > 0"):
+            run_windows(Environment(), until=1.0, window=bad)
+
+
+# ----------------------------------------------------------------------
+# Partition planner and lookahead analysis
+# ----------------------------------------------------------------------
+
+
+def fuzz_config(**overrides):
+    """Small, fast base scenario for the determinism fuzz."""
+    defaults = dict(
+        workload=WorkloadSpec(
+            num_clients=9,
+            request_rate=45.0,
+            catalog_size=80,
+            zipf_exponent=0.8,
+            follow_probability=0.6,
+        ),
+        bandwidth=40.0,
+        cache_capacity=16,
+        predictor="markov",
+        policy="threshold-dynamic",
+        duration=30.0,
+        warmup=5.0,
+        seed=11,
+        topology=TopologyConfig(num_proxies=3),
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def test_plan_decoupled_tier_shards_per_node():
+    plan = plan_node_partition(fuzz_config())
+    assert plan.groups == ((0,), (1,), (2,))
+    assert plan.window == math.inf
+    assert plan.reasons == ()
+    assert plan.parallel
+
+
+def test_plan_single_proxy_is_one_group():
+    plan = plan_node_partition(fuzz_config(topology=TopologyConfig()))
+    assert plan.groups == ((0,),)
+    assert not plan.parallel
+    assert any("single proxy" in r for r in plan.reasons)
+
+
+@pytest.mark.parametrize(
+    ("overrides", "reason_fragment"),
+    [
+        (
+            {"topology": TopologyConfig(num_proxies=3, routing="item-hash")},
+            "item-hash routing",
+        ),
+        (
+            {
+                "topology": TopologyConfig(
+                    num_proxies=3,
+                    cooperation=CooperationConfig(mode="owner-probe"),
+                )
+            },
+            "cooperative probes",
+        ),
+        ({"trace_path": "some_trace.jsonl"}, "trace replay"),
+        (
+            {
+                "workload": WorkloadSpec(
+                    num_clients=9,
+                    request_rate=45.0,
+                    size_distribution=ExponentialSize(1.0),
+                )
+            },
+            "stochastic item sizes",
+        ),
+    ],
+)
+def test_plan_coupled_tiers_collapse_with_reason(overrides, reason_fragment):
+    plan = plan_node_partition(fuzz_config(**overrides))
+    assert plan.groups == ((0, 1, 2),)
+    assert not plan.parallel
+    assert any(reason_fragment in r for r in plan.reasons)
+
+
+def test_lookahead_channels():
+    coop = TopologyConfig(
+        num_proxies=2,
+        cooperation=CooperationConfig(
+            mode="owner-probe", probe_latency=0.004, peer_bandwidth=100.0
+        ),
+    )
+    analysis = coop.lookahead(mean_item_size=1.0)
+    channels = dict(analysis.channels)
+    assert channels["probe"] == pytest.approx(0.004)
+    assert channels["peer-transfer"] == pytest.approx(1.0 / 100.0)
+    assert "probe-state-read" in analysis.zero_channels
+    assert analysis.window == 0.0  # the state-read channel pins it at zero
+
+    decoupled = TopologyConfig(num_proxies=4).lookahead(mean_item_size=1.0)
+    assert decoupled.channels == ()
+    assert decoupled.window == math.inf
+
+    hashed = TopologyConfig(num_proxies=2, routing="item-hash").lookahead(
+        mean_item_size=1.0
+    )
+    assert hashed.zero_channels == ("remote-uplink-dispatch",)
+
+
+# ----------------------------------------------------------------------
+# Oversubscription guard (satellite 1)
+# ----------------------------------------------------------------------
+
+
+def test_effective_node_workers_caps_and_warns_once(monkeypatch):
+    monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 8)
+    monkeypatch.setattr(parallel_mod, "_default_jobs", 4)
+    monkeypatch.setattr(parallel_mod, "_oversub_warned", False)
+    with pytest.warns(RuntimeWarning, match="oversubscribe"):
+        assert effective_node_workers(8, 8) == 2  # 8 cores // 4 jobs
+    # the latch makes the second offence silent (still capped)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert effective_node_workers(8, 8) == 2
+
+
+def test_effective_node_workers_defaults_and_bounds(monkeypatch):
+    monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 8)
+    monkeypatch.setattr(parallel_mod, "_default_jobs", 1)
+    monkeypatch.setattr(parallel_mod, "_oversub_warned", False)
+    monkeypatch.setattr(parallel_mod, "_default_node_workers", None)
+    assert effective_node_workers(None, 3) == 3  # one worker per group
+    assert effective_node_workers(None, 100) == 8  # bounded by cores
+    assert effective_node_workers(5, 3) == 3  # bounded by groups
+    assert effective_node_workers(1, 8) == 1
+
+
+def test_node_backend_session_scopes_the_default():
+    assert get_default_node_backend() == ("serial", None)
+    with node_backend_session("parallel", 2):
+        assert get_default_node_backend() == ("parallel", 2)
+        sim = Simulation(fuzz_config())  # config says "serial": inherits
+        assert sim._plan is not None
+    assert get_default_node_backend() == ("serial", None)
+    assert Simulation(fuzz_config())._plan is None
+    with node_backend_session(None):
+        assert get_default_node_backend() == ("serial", None)
+
+
+def test_set_default_node_backend_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown node_backend"):
+        set_default_node_backend("threads")
+
+
+def test_config_validates_node_backend_fields():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        fuzz_config(node_backend="threads")
+    with pytest.raises(ConfigurationError):
+        fuzz_config(node_workers=0)
+
+
+# ----------------------------------------------------------------------
+# Shard-locality guard
+# ----------------------------------------------------------------------
+
+
+def test_foreign_node_access_raises():
+    sim = Simulation(fuzz_config(), only_nodes=(0,))
+    with pytest.raises(SimulationError, match="different shard group"):
+        sim.nodes[1].holds("item-0")
+    assert sim.nodes[0].holds("item-0") in (True, False)
+
+
+def test_only_nodes_rejects_unknown_proxy():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="unknown proxy"):
+        Simulation(fuzz_config(), only_nodes=(0, 7))
+
+
+# ----------------------------------------------------------------------
+# Window-split bit-identity at the full-simulation level
+# ----------------------------------------------------------------------
+
+
+def test_sim_window_split_is_bit_identical():
+    config = fuzz_config()
+    serial = run_simulation(config)
+    sharded = Simulation(config, only_nodes=(0, 1, 2))
+    payloads = sharded.run_shard(window=3.7)  # dozens of mid-run barriers
+    assert [p.node_id for p in payloads] == [0, 1, 2]
+    per_node = [p.snapshot.finalize() for p in payloads]
+    assert canon(per_node) == canon([s.metrics for s in serial.per_proxy])
+    merged = aggregate_snapshots([p.snapshot for p in payloads])
+    assert canon(merged) == canon(serial.metrics)
+
+
+# ----------------------------------------------------------------------
+# Cross-backend determinism fuzz (satellite 3)
+# ----------------------------------------------------------------------
+
+PHASES = (
+    PhaseSpec(duration=8.0, rate_multiplier=2.5),
+    PhaseSpec(duration=10.0, rate_multiplier=0.6, popularity_shift=13),
+)
+
+FUZZ_CASES = {
+    "per-client-2p": dict(
+        topology=TopologyConfig(num_proxies=2), seed=101
+    ),
+    "per-client-3p-none-policy": dict(policy="none", seed=202),
+    "per-client-4p-true-dist": dict(
+        topology=TopologyConfig(num_proxies=4),
+        predictor="true-distribution",
+        seed=303,
+    ),
+    "per-client-3p-phased": dict(
+        workload=WorkloadSpec(
+            num_clients=9,
+            request_rate=45.0,
+            catalog_size=80,
+            zipf_exponent=0.8,
+            follow_probability=0.6,
+            phases=PHASES,
+        ),
+        seed=404,
+    ),
+    "per-client-2p-hetero": dict(
+        topology=TopologyConfig(
+            num_proxies=2,
+            bandwidth_overrides={1: 15.0},
+            cache_capacity_overrides={0: 8},
+        ),
+        seed=505,
+    ),
+    "aggregated-3p": dict(client_backend="aggregated", seed=606),
+    "aggregated-4p-phased": dict(
+        client_backend="aggregated",
+        topology=TopologyConfig(num_proxies=4),
+        workload=WorkloadSpec(
+            num_clients=24,
+            request_rate=60.0,
+            catalog_size=80,
+            zipf_exponent=0.8,
+            follow_probability=0.6,
+            phases=PHASES,
+        ),
+        seed=707,
+    ),
+}
+
+
+@pytest.mark.parametrize("case", sorted(FUZZ_CASES))
+def test_parallel_backend_is_bit_identical(case):
+    config = fuzz_config(**FUZZ_CASES[case])
+    serial = run_simulation(config)
+    parallel = run_simulation(
+        dataclasses.replace(config, node_backend="parallel", node_workers=2)
+    )
+    assert_outputs_identical(parallel, serial)
+
+
+FALLBACK_CASES = {
+    "item-hash": dict(
+        topology=TopologyConfig(num_proxies=2, routing="item-hash"), seed=808
+    ),
+    "owner-probe": dict(
+        topology=TopologyConfig(
+            num_proxies=3, cooperation=CooperationConfig(mode="owner-probe")
+        ),
+        seed=909,
+    ),
+    "broadcast-aggregated": dict(
+        client_backend="aggregated",
+        topology=TopologyConfig(
+            num_proxies=2, cooperation=CooperationConfig(mode="broadcast")
+        ),
+        seed=1010,
+    ),
+    "stochastic-sizes": dict(
+        workload=WorkloadSpec(
+            num_clients=6,
+            request_rate=30.0,
+            catalog_size=80,
+            size_distribution=ExponentialSize(1.0),
+        ),
+        topology=TopologyConfig(num_proxies=2),
+        seed=1111,
+    ),
+}
+
+
+@pytest.mark.parametrize("case", sorted(FALLBACK_CASES))
+def test_coupled_modes_fall_back_bit_identically(case):
+    config = fuzz_config(**FALLBACK_CASES[case])
+    serial = run_simulation(config)
+    with pytest.warns(RuntimeWarning, match="falls back to the serial"):
+        fallback = run_simulation(
+            dataclasses.replace(config, node_backend="parallel")
+        )
+    assert_outputs_identical(fallback, serial)
+
+
+def test_parallel_with_real_worker_pool(monkeypatch):
+    """Force a genuine 2-process pool (bypassing the 1-core cap) and
+    check the shipped payloads reassemble the serial output exactly —
+    this is the end-to-end pickling path workers exercise in production."""
+    monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 8)
+    monkeypatch.setattr(parallel_mod, "_oversub_warned", False)
+    config = fuzz_config(seed=1212)
+    serial = run_simulation(config)
+    parallel = run_simulation(
+        dataclasses.replace(config, node_backend="parallel", node_workers=2)
+    )
+    assert_outputs_identical(parallel, serial)
+
+
+def test_single_proxy_parallel_matches_pinned_seed_metrics():
+    config = test_topology.seed_config(node_backend="parallel")
+    with pytest.warns(RuntimeWarning, match="falls back to the serial"):
+        output = run_simulation(config)
+    metrics = dataclasses.asdict(output.metrics)
+    for key, value in test_topology.PINNED_SEED_METRICS.items():
+        assert metrics[key] == value, key
+    assert output.link_demand_fetches == (
+        test_topology.PINNED_SEED_LINK["link_demand_fetches"]
+    )
+    assert output.link_prefetch_fetches == (
+        test_topology.PINNED_SEED_LINK["link_prefetch_fetches"]
+    )
+    assert output.link_demand_bytes == (
+        test_topology.PINNED_SEED_LINK["link_demand_bytes"]
+    )
+    assert output.link_prefetch_bytes == (
+        test_topology.PINNED_SEED_LINK["link_prefetch_bytes"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache identity and scenario plumbing (satellite 5)
+# ----------------------------------------------------------------------
+
+
+def test_node_backend_does_not_change_scenario_hash():
+    config = fuzz_config()
+    base = scenario_hash(config, replications=2, base_seed=config.seed)
+    for variant in (
+        dataclasses.replace(config, node_backend="parallel"),
+        dataclasses.replace(config, node_backend="parallel", node_workers=4),
+        dataclasses.replace(config, node_workers=2),
+    ):
+        assert (
+            scenario_hash(variant, replications=2, base_seed=config.seed)
+            == base
+        )
+    # sanity: real scenario knobs still change the hash
+    other = dataclasses.replace(config, cache_capacity=17)
+    assert scenario_hash(other, replications=2, base_seed=config.seed) != base
+
+
+def scenario_doc(**system_extra):
+    system = {"bandwidth": 40.0, "duration": 30.0, "warmup": 5.0}
+    system.update(system_extra)
+    return {
+        "name": "node-backend-doc",
+        "workload": {"num_clients": 4, "request_rate": 10.0},
+        "system": system,
+        "topology": {"num_proxies": 2},
+    }
+
+
+def test_scenario_schema_accepts_node_backend():
+    spec = parse_scenario(scenario_doc(node_backend="parallel", node_workers=2))
+    assert spec.system.node_backend == "parallel"
+    assert spec.system.node_workers == 2
+    config = compile_config(spec)
+    assert config.node_backend == "parallel"
+    assert config.node_workers == 2
+
+    plain = compile_config(parse_scenario(scenario_doc()))
+    assert plain.node_backend == "serial"
+    assert plain.node_workers is None
+
+
+def test_scenario_schema_rejects_bad_node_backend():
+    with pytest.raises(ScenarioError, match="node_backend"):
+        parse_scenario(scenario_doc(node_backend="threads"))
+    with pytest.raises(ScenarioError, match="node_workers"):
+        parse_scenario(scenario_doc(node_workers=0))

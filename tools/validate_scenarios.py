@@ -63,9 +63,14 @@ def lint(path: Path) -> list[str]:
             )
     if not problems:
         phased = "phased" if spec.workload.phases else "stationary"
+        backend = (
+            f", {spec.system.node_backend} node backend"
+            if spec.system.node_backend
+            else ""
+        )
         print(
             f"ok: {rel} -> scenario {spec.name!r}, {len(points)} point(s), "
-            f"{phased} workload"
+            f"{phased} workload{backend}"
         )
     return problems
 
