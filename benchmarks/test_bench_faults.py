@@ -1,0 +1,126 @@
+"""Benchmark: fault injection & elastic re-sharding overhead (PR 10).
+
+Two measurements on one cooperative four-proxy tier:
+
+1. **Fault-path overhead** — the same config run fault-free and with a
+   proxy-fail/proxy-recover schedule.  The fault runtime is installed
+   only when a schedule is present, so the fault-free run doubles as the
+   zero-overhead baseline; the benchmark records how much wall time the
+   drain + re-shard + migration machinery adds.
+
+2. **Migration-cost contrast** — cold restart vs cooperative warm
+   migration on the identical schedule.  The JSON record stores the
+   recovery-segment origin bytes of each mode so the "warm transfers
+   over peer links replace origin refetches" claim has a perf
+   trajectory in CI, not just a one-off experiment table.
+
+Run:  pytest benchmarks/test_bench_faults.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.network.topology import CooperationConfig, TopologyConfig
+from repro.sim import SimulationConfig, run_simulation
+from repro.sim.faults import FaultEvent, FaultSchedule
+from repro.workload.sessions import WorkloadSpec
+
+DURATION = 90.0
+FAIL_AT = DURATION / 3.0
+RECOVER_AT = FAIL_AT + DURATION / 18.0  # short outage: caches still cold
+
+
+def _tier_config() -> SimulationConfig:
+    return SimulationConfig(
+        workload=WorkloadSpec(
+            num_clients=32,
+            request_rate=64.0,
+            catalog_size=300,
+            zipf_exponent=0.9,
+            follow_probability=0.7,
+        ),
+        bandwidth=35.0,
+        cache_capacity=24,
+        predictor="markov",
+        policy="threshold-dynamic",
+        duration=DURATION,
+        warmup=15.0,
+        seed=29,
+        topology=TopologyConfig(
+            num_proxies=4,
+            routing="item-hash",
+            cooperation=CooperationConfig(mode="owner-probe"),
+        ),
+    )
+
+
+def _schedule(migration: str) -> FaultSchedule:
+    return FaultSchedule(
+        events=(
+            FaultEvent(time=FAIL_AT, kind="proxy-fail", node=1),
+            FaultEvent(time=RECOVER_AT, kind="proxy-recover", node=1),
+        ),
+        migration=migration,
+    )
+
+
+def _recovery_origin_bytes(output) -> float:
+    for segment in output.kpis.fault_segments():
+        if segment.kind == "proxy-recover":
+            return segment.origin_bytes
+    raise AssertionError("no recovery segment in fault timeline")
+
+
+def test_bench_fault_injection(benchmark):
+    base = _tier_config()
+
+    t0 = time.perf_counter()
+    clean_out = run_simulation(base)
+    clean_s = time.perf_counter() - t0
+
+    cold_config = dataclasses.replace(base, faults=_schedule("cold"))
+    t0 = time.perf_counter()
+    cold_out = run_simulation(cold_config)
+    cold_s = time.perf_counter() - t0
+
+    warm_config = dataclasses.replace(base, faults=_schedule("cooperative"))
+    warm_out = benchmark.pedantic(
+        lambda: run_simulation(warm_config),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    warm_s = benchmark.stats.stats.min
+
+    # the clean run must not pay for the fault machinery at all
+    assert not clean_out.kpis.fault_timeline
+    assert len(warm_out.kpis.fault_timeline) == 3  # fail, recover, end
+
+    end = warm_out.kpis.fault_timeline[-1]
+    assert end.migrated_items > 0  # cooperative mode actually migrated
+    assert cold_out.kpis.fault_timeline[-1].migrated_items == 0
+
+    cold_refetch = _recovery_origin_bytes(cold_out)
+    warm_refetch = _recovery_origin_bytes(warm_out)
+
+    print(f"\nfault-free    {clean_s:>6.2f}s")
+    print(f"cold restart  {cold_s:>6.2f}s  "
+          f"recovery-segment origin bytes {cold_refetch:.0f}")
+    print(f"cooperative   {warm_s:>6.2f}s  "
+          f"recovery-segment origin bytes {warm_refetch:.0f}  "
+          f"({end.migrated_items} items / {end.migrated_bytes:.0f} bytes "
+          f"migrated over peer links)")
+    print(f"fault-path overhead {warm_s / clean_s:.2f}x of fault-free wall")
+
+    benchmark.extra_info["clean_seconds"] = round(clean_s, 4)
+    benchmark.extra_info["cold_seconds"] = round(cold_s, 4)
+    benchmark.extra_info["cooperative_seconds"] = round(warm_s, 4)
+    benchmark.extra_info["overhead_vs_clean"] = round(warm_s / clean_s, 3)
+    benchmark.extra_info["migrated_items"] = end.migrated_items
+    benchmark.extra_info["migrated_bytes"] = round(end.migrated_bytes, 1)
+    benchmark.extra_info["cold_recovery_origin_bytes"] = round(cold_refetch, 1)
+    benchmark.extra_info["warm_recovery_origin_bytes"] = round(warm_refetch, 1)
+
+    # the drain/re-shard path is event-loop work, not a second simulator:
+    # it must stay within a small constant factor of the fault-free run
+    assert warm_s < 3.0 * clean_s

@@ -70,6 +70,17 @@ def _proxy_counts(raw: str) -> tuple[int, ...]:
     return tuple(dict.fromkeys(counts))
 
 
+def _fault_schedule(raw: str):
+    """Parse ``--faults`` shorthand into a :class:`FaultSchedule`."""
+    from repro.errors import ConfigurationError
+    from repro.sim.faults import FaultSchedule
+
+    try:
+        return FaultSchedule.parse(raw)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -152,6 +163,19 @@ def build_parser() -> argparse.ArgumentParser:
             "cooperation modes for the 'cooperative-caching' experiment's "
             "sweep: none, owner-probe, broadcast (comma list to compare "
             "several; cooperation-aware experiments only)"
+        ),
+    )
+    parser.add_argument(
+        "--faults",
+        type=_fault_schedule,
+        default=None,
+        metavar="SCHEDULE",
+        help=(
+            "fault schedule for fault-aware experiments (e.g. "
+            "'failure-recovery'): comma-separated 'kind@time:node' events "
+            "(kinds: proxy-fail, proxy-recover, ring-grow, ring-shrink) "
+            "plus an optional 'migration=cold|cooperative', e.g. "
+            "'proxy-fail@60:1,proxy-recover@90:1,migration=cooperative'"
         ),
     )
     parser.add_argument(
@@ -299,6 +323,8 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
         experiment.cooperation_modes = args.cooperation
     if args.screen is not None and hasattr(experiment, "screen_keep"):
         experiment.screen_keep = args.screen
+    if args.faults is not None and hasattr(experiment, "fault_schedule"):
+        experiment.fault_schedule = args.faults
     if args.scenario_file is not None and hasattr(experiment, "scenario_path"):
         experiment.scenario_path = args.scenario_file
     if args.kpi and hasattr(experiment, "show_kpis"):
@@ -371,6 +397,9 @@ def main(argv: list[str] | None = None) -> int:
     warn_if_unconsumed(args.proxies, "proxy_counts", "--proxies", "sharding")
     warn_if_unconsumed(args.trace, "trace_path", "--trace", "trace-replay")
     warn_if_unconsumed(args.screen, "screen_keep", "--screen", "analytic-screen")
+    warn_if_unconsumed(
+        args.faults, "fault_schedule", "--faults", "failure-recovery"
+    )
     # --sweep routes every experiment's grids through one session engine
     # with an on-disk result cache; --jobs sizes its shared pool (the
     # engine inherits the session default set by Experiment.run).

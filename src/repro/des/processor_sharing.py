@@ -164,6 +164,23 @@ class ProcessorSharingServer:
                 return job
         return None
 
+    def fail_all(self, exc: BaseException) -> int:
+        """Abort every in-service job at once (a crashed server).
+
+        Each job's done event is failed with ``exc``; work already served
+        stays counted (the bandwidth was genuinely consumed before the
+        crash).  Returns the number of jobs aborted.
+        """
+        self._advance()
+        failed = list(self._active)
+        self._active.clear()
+        self._jobs_in_system.set(0)
+        for job in failed:
+            job.completion_time = float("nan")
+            job.done.fail(exc)
+        self._reschedule()
+        return len(failed)
+
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------

@@ -36,6 +36,17 @@ class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulation reached an invalid internal state."""
 
 
+class NodeFailure(SimulationError):
+    """A proxy node crashed while a transfer it served was in flight.
+
+    Raised into every generator waiting on the dead node's uplink or peer
+    link when a fault-injection ``proxy-fail``/``ring-shrink`` event drains
+    the node (:meth:`repro.sim.node.ProxyNode.drain`).  The request path
+    catches it and fails over to the item's new owner or the origin; it
+    never escapes a well-formed simulation.
+    """
+
+
 class ConfigurationError(ReproError, ValueError):
     """An experiment or simulation configuration is inconsistent."""
 

@@ -8,6 +8,7 @@ from repro.experiments import (  # noqa: F401 - imports register experiments
     analytic_screen,
     cooperative_caching,
     estimator_eval,
+    failure_recovery,
     figure1,
     figure2,
     figure3,

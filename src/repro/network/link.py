@@ -82,6 +82,17 @@ class SharedLink:
         return done
 
     # ------------------------------------------------------------------
+    def fail_inflight(self, exc: BaseException) -> int:
+        """Abort every transfer currently on the link (the server crashed).
+
+        Each waiting fetcher sees ``exc`` raised from its pending fetch
+        event via the ``_complete`` failure path.  Offered-load accounting
+        is issue-time and therefore keeps the aborted bytes: the work was
+        offered to the link before the crash.  Returns the abort count.
+        """
+        return self.server.fail_all(exc)
+
+    # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
     @property

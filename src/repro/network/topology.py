@@ -76,28 +76,101 @@ class HashRing:
     re-sharding a warm cache tier cheap).
     """
 
-    def __init__(self, num_proxies: int, *, vnodes: int = 64) -> None:
+    def __init__(
+        self,
+        num_proxies: int,
+        *,
+        vnodes: int = 64,
+        members: tuple[int, ...] | None = None,
+    ) -> None:
         if num_proxies < 1:
             raise ConfigurationError(f"num_proxies must be >= 1, got {num_proxies}")
         if vnodes < 1:
             raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
         self.num_proxies = int(num_proxies)
         self.vnodes = int(vnodes)
+        if members is None:
+            members = tuple(range(self.num_proxies))
+        member_set = set(int(m) for m in members)
+        if not member_set:
+            raise ConfigurationError("a hash ring needs at least one member")
+        for member in member_set:
+            if not 0 <= member < self.num_proxies:
+                raise ConfigurationError(
+                    f"ring member {member} outside the provisioned range "
+                    f"0..{self.num_proxies - 1}"
+                )
+        self._members = member_set
         points = []
-        for proxy in range(self.num_proxies):
+        for proxy in sorted(member_set):
             for v in range(self.vnodes):
                 points.append((_stable_hash(f"proxy-{proxy}#{v}"), proxy))
         points.sort()
+        self._points = points
         self._hashes = [h for h, _ in points]
         self._owners = [p for _, p in points]
+
+    def members(self) -> tuple[int, ...]:
+        """Current ring membership, ascending proxy id."""
+        return tuple(sorted(self._members))
+
+    def _vnode_points(self, proxy: int) -> list[tuple[int, int]]:
+        return [
+            (_stable_hash(f"proxy-{proxy}#{v}"), proxy)
+            for v in range(self.vnodes)
+        ]
+
+    def add_node(self, proxy: int) -> None:
+        """Add a provisioned proxy's virtual points back onto the ring.
+
+        Minimal disruption by construction: an insert only reassigns items
+        hashing into the arcs immediately counter-clockwise of the new
+        points — every other item keeps its owner.  The resulting ring is
+        identical (point ordering included) to one built fresh with the
+        same membership, so fail-then-recover round-trips exactly.
+        """
+        proxy = int(proxy)
+        if not 0 <= proxy < self.num_proxies:
+            raise ConfigurationError(
+                f"ring member {proxy} outside the provisioned range "
+                f"0..{self.num_proxies - 1}"
+            )
+        if proxy in self._members:
+            raise ConfigurationError(f"proxy {proxy} is already on the ring")
+        self._members.add(proxy)
+        for point in self._vnode_points(proxy):
+            index = bisect_right(self._points, point)
+            self._points.insert(index, point)
+            self._hashes.insert(index, point[0])
+            self._owners.insert(index, point[1])
+
+    def remove_node(self, proxy: int) -> None:
+        """Remove a proxy's virtual points from the ring.
+
+        Only items that hashed onto the removed points change owner (to
+        the next point clockwise); the ring refuses to lose its last
+        member — an empty tier could route nothing.
+        """
+        proxy = int(proxy)
+        if proxy not in self._members:
+            raise ConfigurationError(f"proxy {proxy} is not on the ring")
+        if len(self._members) == 1:
+            raise ConfigurationError(
+                "cannot remove the last ring member (the tier would have "
+                "no owner for any item)"
+            )
+        self._members.discard(proxy)
+        self._points = [pt for pt in self._points if pt[1] != proxy]
+        self._hashes = [h for h, _ in self._points]
+        self._owners = [p for _, p in self._points]
 
     def node_of(self, item: Hashable) -> int:
         """The proxy id owning ``item``'s catalogue shard.
 
         With a single proxy every item trivially maps to node 0.  The
-        result is a pure function of ``(num_proxies, vnodes, repr(item))``
-        — no simulation state — so routers and cooperation probes may call
-        it freely and always agree on the owner.
+        result is a pure function of ``(vnodes, repr(item))`` and the
+        current membership — routers and cooperation probes may call it
+        freely and always agree on the owner.
         """
         h = _stable_hash(repr(item))
         index = bisect_right(self._hashes, h)

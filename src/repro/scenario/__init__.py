@@ -11,6 +11,7 @@ expands its sweep grid into :class:`~repro.sim.sweep.SweepPoint` lists.
 from repro.scenario.compile import (
     apply_override,
     compile_config,
+    compile_faults,
     compile_topology,
     compile_workload,
     expand_points,
@@ -28,6 +29,7 @@ __all__ = [
     "load_scenario",
     "parse_scenario",
     "compile_config",
+    "compile_faults",
     "compile_topology",
     "compile_workload",
     "apply_override",

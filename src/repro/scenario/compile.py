@@ -32,6 +32,7 @@ from typing import Any, Mapping, Sequence
 from repro.errors import ConfigurationError
 from repro.network.topology import CooperationConfig, TopologyConfig
 from repro.scenario.schema import (
+    FaultsSchema,
     PhaseSchema,
     ScenarioError,
     ScenarioSpec,
@@ -39,6 +40,7 @@ from repro.scenario.schema import (
     WorkloadSchema,
 )
 from repro.sim.config import SimulationConfig
+from repro.sim.faults import FaultEvent, FaultSchedule
 from repro.sim.sweep import SweepPoint
 from repro.workload.phases import PhaseSpec
 from repro.workload.sessions import WorkloadSpec
@@ -46,6 +48,7 @@ from repro.workload.sessions import WorkloadSpec
 __all__ = [
     "compile_workload",
     "compile_topology",
+    "compile_faults",
     "compile_config",
     "apply_override",
     "expand_points",
@@ -113,6 +116,21 @@ def compile_topology(schema: TopologySchema, *, path: str = "topology") -> Topol
         raise ScenarioError(path, str(exc)) from exc
 
 
+def compile_faults(schema: FaultsSchema, *, path: str = "faults") -> FaultSchedule:
+    """Build a :class:`FaultSchedule` from the scenario's faults section."""
+    kwargs: dict[str, Any] = {
+        "events": tuple(
+            FaultEvent(time=e.at, kind=e.kind, node=e.node) for e in schema.events
+        )
+    }
+    if schema.migration is not None:
+        kwargs["migration"] = schema.migration
+    try:
+        return FaultSchedule(**kwargs)
+    except ConfigurationError as exc:
+        raise ScenarioError(path, str(exc)) from exc
+
+
 def compile_config(spec: ScenarioSpec) -> SimulationConfig:
     """Compile a whole scenario into its base :class:`SimulationConfig`.
 
@@ -147,10 +165,16 @@ def compile_config(spec: ScenarioSpec) -> SimulationConfig:
         kwargs["predictor_params"] = dict(spec.system.predictor_params)
     if spec.system.policy_params is not None:
         kwargs["policy_params"] = dict(spec.system.policy_params)
+    if spec.faults is not None:
+        kwargs["faults"] = compile_faults(spec.faults)
     try:
         return SimulationConfig(**kwargs)
     except ConfigurationError as exc:
-        raise ScenarioError("system", str(exc)) from exc
+        # Cross-field fault checks (node on/off ring, time < duration, ...)
+        # run inside SimulationConfig and already name ``faults.events[i]``;
+        # route those back to the faults section, everything else to system.
+        section = "faults" if str(exc).startswith("faults") else "system"
+        raise ScenarioError(section, str(exc)) from exc
 
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,6 @@
 """Validated declarative scenario schema (YAML/JSON → dataclasses).
 
-A scenario document is a mapping with up to five sections::
+A scenario document is a mapping with up to six sections::
 
     name: flash-crowd              # required
     description: ...               # optional free text
@@ -22,6 +22,11 @@ A scenario document is a mapping with up to five sections::
       grid:
         system.policy: [none, threshold-dynamic]
         topology.num_proxies: [1, 2, 4]
+    faults:                        # optional mid-run topology mutations
+      migration: cooperative       # cold (default) | cooperative
+      events:
+        - {at: 40.0, kind: proxy-fail, node: 1}
+        - {at: 80.0, kind: proxy-recover, node: 1}
 
 Validation philosophy: **every** mistake — wrong type, out-of-range
 value, unknown key, bad enum name — raises :class:`ScenarioError` whose
@@ -47,6 +52,7 @@ from repro.sim.config import (
     POLICY_NAMES,
     PREDICTOR_NAMES,
 )
+from repro.sim.faults import FAULT_KINDS, MIGRATION_MODES
 
 __all__ = [
     "ScenarioError",
@@ -56,6 +62,8 @@ __all__ = [
     "TopologySchema",
     "SystemSchema",
     "SweepSchema",
+    "FaultEventSchema",
+    "FaultsSchema",
     "ScenarioSpec",
     "parse_scenario",
     "load_scenario",
@@ -269,6 +277,19 @@ class SystemSchema:
 
 
 @dataclass(frozen=True)
+class FaultEventSchema:
+    at: float
+    kind: str
+    node: int
+
+
+@dataclass(frozen=True)
+class FaultsSchema:
+    events: tuple[FaultEventSchema, ...]
+    migration: str | None = None
+
+
+@dataclass(frozen=True)
 class SweepSchema:
     replications: int = 3
     base_seed: int | None = None
@@ -286,6 +307,7 @@ class ScenarioSpec:
     system: SystemSchema = field(default_factory=SystemSchema)
     topology: TopologySchema = field(default_factory=TopologySchema)
     sweep: SweepSchema = field(default_factory=SweepSchema)
+    faults: FaultsSchema | None = None
     #: where the document came from ("<dict>" for in-memory specs)
     source: str = "<dict>"
 
@@ -413,6 +435,40 @@ def _parse_grid(value: Any, path: str) -> dict[str, tuple[Any, ...]]:
     return grid
 
 
+def _parse_fault_event(data: Any, path: str) -> FaultEventSchema:
+    node = _Node(data, path)
+    event = FaultEventSchema(
+        at=node.require("at", _positive_float),
+        kind=node.require("kind", _choice(FAULT_KINDS)),
+        node=node.require("node", _int),
+    )
+    node.finish()
+    if event.node < 0:
+        raise ScenarioError(f"{path}.node", f"must be >= 0, got {event.node}")
+    return event
+
+
+def _parse_fault_events(value: Any, path: str) -> tuple[FaultEventSchema, ...]:
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+        raise ScenarioError(path, f"expected a list of fault events, got {value!r}")
+    if not value:
+        raise ScenarioError(path, "needs at least one event")
+    return tuple(
+        _parse_fault_event(entry, f"{path}[{i}]")
+        for i, entry in enumerate(value)
+    )
+
+
+def _parse_faults(data: Any, path: str) -> FaultsSchema:
+    node = _Node(data, path)
+    faults = FaultsSchema(
+        events=node.require("events", _parse_fault_events),
+        migration=node.take("migration", _choice(MIGRATION_MODES)),
+    )
+    node.finish()
+    return faults
+
+
 def _parse_sweep(data: Any, path: str) -> SweepSchema:
     node = _Node(data, path)
     sweep = SweepSchema(
@@ -441,6 +497,7 @@ def parse_scenario(data: Any, *, source: str = "<dict>") -> ScenarioSpec:
         system=node.take("system", _parse_system, SystemSchema()),
         topology=node.take("topology", _parse_topology, TopologySchema()),
         sweep=node.take("sweep", _parse_sweep, SweepSchema()),
+        faults=node.take("faults", _parse_faults),
         source=source,
     )
     node.finish()

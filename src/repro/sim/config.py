@@ -7,6 +7,7 @@ from typing import Any
 
 from repro.errors import ConfigurationError
 from repro.network.topology import TopologyConfig
+from repro.sim.faults import FaultSchedule
 from repro.workload.sessions import WorkloadSpec
 
 __all__ = [
@@ -118,6 +119,14 @@ class SimulationConfig:
         oversubscription guard caps ``node_workers × jobs`` at
         ``os.cpu_count()`` with a warning.  Purely an execution knob —
         results are identical for every value.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultSchedule` of mid-run
+        topology mutations (proxy crash/recovery, elastic ring
+        grow/shrink) — see :mod:`repro.sim.faults`.  ``None`` or an
+        empty schedule leave the run bit-identical to a fault-free one;
+        a non-empty schedule is a zero-lookahead coupling, so the
+        parallel node backend falls back to the serial loop (named
+        ``fault-injection`` in the warning).
     """
 
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
@@ -138,6 +147,7 @@ class SimulationConfig:
     client_backend: str = "per-client"
     node_backend: str = "serial"
     node_workers: int | None = None
+    faults: FaultSchedule | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.topology, TopologyConfig):
@@ -188,6 +198,15 @@ class SimulationConfig:
         if self.policy == "threshold-static" and self.assumed_hit_ratio is None:
             raise ConfigurationError(
                 "threshold-static needs assumed_hit_ratio (or use threshold-dynamic)"
+            )
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultSchedule):
+                raise ConfigurationError(
+                    f"faults must be a FaultSchedule, got "
+                    f"{type(self.faults).__name__}"
+                )
+            self.faults.validate(
+                topology=self.topology, duration=self.duration
             )
         if self.trace_path is not None and self.workload.phases is not None:
             raise ConfigurationError(

@@ -24,11 +24,20 @@ quantiles of the concatenated observations at the sketch's resolution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from math import ceil, floor, inf, log10
 from typing import Sequence
 
-__all__ = ["QuantileSketch", "KPIShard", "RunKPIs", "aggregate_kpis"]
+from repro.sim.faults import FaultSegment, FaultTimelineRow
+
+__all__ = [
+    "QuantileSketch",
+    "KPIShard",
+    "RunKPIs",
+    "FaultSegment",
+    "FaultTimelineRow",
+    "aggregate_kpis",
+]
 
 #: log-bin resolution: bins per decade.  32/decade bounds the relative
 #: quantile error at ``10**(1/32) − 1`` ≈ 7.5% — far below the sampling
@@ -169,6 +178,9 @@ class RunKPIs:
     shard_elapsed: tuple[float, ...]
     #: how many runs were pooled into this scorecard (1 = a single run)
     runs: int = 1
+    #: fault-injection timeline (cumulative counter rows, one per fault
+    #: event plus the end-of-run row); empty for fault-free runs
+    fault_timeline: tuple[FaultTimelineRow, ...] = ()
 
     @classmethod
     def from_shards(
@@ -178,6 +190,7 @@ class RunKPIs:
         demand_bytes: float,
         prefetch_bytes: float,
         peer_bytes: float,
+        fault_timeline: tuple[FaultTimelineRow, ...] = (),
     ) -> "RunKPIs":
         """Assemble one run's scorecard from its per-proxy shards."""
         if not shards:
@@ -196,6 +209,7 @@ class RunKPIs:
             peer_bytes=float(peer_bytes),
             shard_busy=tuple(s.busy for s in shards),
             shard_elapsed=tuple(s.elapsed for s in shards),
+            fault_timeline=tuple(fault_timeline),
         )
 
     # -- headline figures ----------------------------------------------
@@ -236,6 +250,44 @@ class RunKPIs:
         total = self.demand_bytes + self.prefetch_bytes + self.peer_bytes
         return self.peer_bytes / total if total > 0 else 0.0
 
+    def fault_segments(self) -> tuple[FaultSegment, ...]:
+        """Per-segment KPI deltas between consecutive fault instants.
+
+        The first segment runs from t=0 to the first fault; each further
+        segment is opened by the event that starts it ("end" closes the
+        run).  Deltas of cumulative counters are exact, so segment hit
+        ratios and mean access times are ratio-of-sums over exactly the
+        requests *measured* (post-warmup) inside the segment.  Empty for
+        fault-free runs.
+        """
+        segments = []
+        prev_t, prev_req, prev_hits, prev_access = 0.0, 0, 0, 0.0
+        prev_origin = 0.0
+        opened_by, opened_node = "start", -1
+        for row in self.fault_timeline:
+            d_req = row.requests - prev_req
+            d_hits = row.hits - prev_hits
+            d_access = row.access_total - prev_access
+            segments.append(
+                FaultSegment(
+                    start=prev_t,
+                    end=row.time,
+                    kind=opened_by,
+                    node=opened_node,
+                    requests=d_req,
+                    hits=d_hits,
+                    mean_access_time=(
+                        d_access / d_req if d_req else float("nan")
+                    ),
+                    origin_bytes=row.origin_bytes - prev_origin,
+                )
+            )
+            prev_t, prev_req = row.time, row.requests
+            prev_hits, prev_access = row.hits, row.access_total
+            prev_origin = row.origin_bytes
+            opened_by, opened_node = row.kind, row.node
+        return tuple(segments)
+
     def scorecard_rows(self) -> list[tuple[str, str]]:
         """Rendered (label, value) rows for reports and the CLI."""
         utils = ", ".join(f"{u:.3f}" for u in self.per_shard_utilization)
@@ -268,6 +320,38 @@ def aggregate_kpis(parts: Sequence[RunKPIs]) -> RunKPIs:
     sketch = parts[0].sketch
     for p in parts[1:]:
         sketch = sketch.merge(p.sketch)
+    # Fault timelines pool by counter addition at matching rows: every
+    # part of a replication set ran the same schedule, so the (time,
+    # kind, node) skeletons must agree — anything else is a caller bug.
+    skeleton = tuple(
+        (row.time, row.kind, row.node) for row in parts[0].fault_timeline
+    )
+    for p in parts[1:]:
+        if tuple(
+            (row.time, row.kind, row.node) for row in p.fault_timeline
+        ) != skeleton:
+            raise ValueError(
+                "aggregate_kpis() parts disagree on the fault timeline "
+                "(pooling requires identical fault schedules)"
+            )
+    fault_timeline = tuple(
+        replace(
+            parts[0].fault_timeline[i],
+            requests=sum(p.fault_timeline[i].requests for p in parts),
+            hits=sum(p.fault_timeline[i].hits for p in parts),
+            access_total=sum(p.fault_timeline[i].access_total for p in parts),
+            migrated_items=sum(
+                p.fault_timeline[i].migrated_items for p in parts
+            ),
+            migrated_bytes=sum(
+                p.fault_timeline[i].migrated_bytes for p in parts
+            ),
+            origin_bytes=sum(
+                p.fault_timeline[i].origin_bytes for p in parts
+            ),
+        )
+        for i in range(len(skeleton))
+    )
     return RunKPIs(
         sketch=sketch,
         requests=sum(p.requests for p in parts),
@@ -284,4 +368,5 @@ def aggregate_kpis(parts: Sequence[RunKPIs]) -> RunKPIs:
             sum(p.shard_elapsed[i] for p in parts) for i in range(shard_count)
         ),
         runs=sum(p.runs for p in parts),
+        fault_timeline=fault_timeline,
     )

@@ -299,6 +299,15 @@ class MetricsCollector:
         if hit:
             self._remote_hits += 1
 
+    def timeline_counters(self) -> tuple[int, int, float]:
+        """Cheap cumulative ``(requests, hits, access-time sum)`` snapshot.
+
+        Read by the fault runtime at each fault instant to build the KPI
+        timeline; pure reads of already-maintained counters, so sampling
+        them mid-run can never perturb the simulation.
+        """
+        return self._requests, self._hits, self.access_time.total
+
     # ------------------------------------------------------------------
     def kpi_shard(self, node_id: int = 0) -> KPIShard:
         """This shard's raw KPI feed (sketch + counts + busy interval).

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable, Iterator, KeysView
 
 from repro.des.events import Event
-from repro.errors import SimulationError
+from repro.errors import NodeFailure, SimulationError
 from repro.network.link import SharedLink
 from repro.sim.metrics import MetricsCollector
 
@@ -274,6 +274,27 @@ class ProxyNode:
         return table
 
     # ------------------------------------------------------------------
+    def drain(self, exc: NodeFailure | None = None) -> int:
+        """Abort every transfer in flight on this node's links (a crash).
+
+        Called by the fault runtime *after* routing stopped targeting
+        this node: each aborted transfer raises
+        :class:`~repro.errors.NodeFailure` into its waiting fetcher,
+        whose request path fails over through the updated routing (see
+        ``origin_demand``/``remote_fetch``) under the same pending
+        :class:`FetchTable` entry — joiners are re-woken by the failover
+        transfer's resolution, never orphaned.  Returns the abort count.
+        """
+        if exc is None:
+            exc = NodeFailure(
+                f"proxy node {self.node_id} failed at t={self.env.now:g}"
+            )
+        count = self.link.fail_inflight(exc)
+        if self.peer_link is not None:
+            count += self.peer_link.fail_inflight(exc)
+        return count
+
+    # ------------------------------------------------------------------
     # Cooperative caching: what this node can serve to peers
     # ------------------------------------------------------------------
     def holds(self, item: Hashable) -> bool:
@@ -350,13 +371,24 @@ class ProxyNode:
 
         def origin_demand(item: Hashable):
             """Fetch from the origin into an already-registered entry."""
-            try:
-                result = yield sim.fetch(item, kind="demand", client=client_id)
-            except Exception as exc:
-                # Keep the table consistent (wake joiners) even though an
-                # unhandled demand failure still surfaces loudly.
-                table.fail(item, exc)
-                raise
+            while True:
+                try:
+                    result = yield sim.fetch(
+                        item, kind="demand", client=client_id
+                    )
+                except NodeFailure:
+                    # The serving node crashed mid-transfer (fault
+                    # injection).  The fault runtime rerouted the item
+                    # before draining, so reissuing lands on the new
+                    # owner or the origin; the pending entry stays open
+                    # and its joiners are woken by the retry's outcome.
+                    continue
+                except Exception as exc:
+                    # Keep the table consistent (wake joiners) even though
+                    # an unhandled demand failure still surfaces loudly.
+                    table.fail(item, exc)
+                    raise
+                break
             controller.on_fetch_complete(
                 item, now=env.now, size=result.request.size, prefetched=False
             )
@@ -397,6 +429,12 @@ class ProxyNode:
             collector.record_remote_probe(hit=True, issued_at=t_probe)
             try:
                 result = yield server.peer_serve(item, client=client_id)
+            except NodeFailure:
+                # The serving peer crashed mid-transfer (fault injection):
+                # fall back to the origin under the same pending entry, so
+                # joiners keep waiting on one resolution.
+                yield from origin_demand(item)
+                return
             except Exception as exc:
                 table.fail(item, exc)
                 raise

@@ -415,6 +415,12 @@ def plan_node_partition(config) -> NodePartition:
             "and probe misses resolve at the prober in the same instant "
             "(zero-lookahead channels)"
         )
+    if getattr(config, "faults", None):
+        reasons.append(
+            "fault-injection schedules mutate the shared ring and drain "
+            "nodes at absolute instants every shard must observe "
+            "(zero-lookahead coupling)"
+        )
     sizes = spec.size_distribution
     if sizes is not None and not isinstance(sizes, FixedSize):
         reasons.append(

@@ -73,6 +73,7 @@ from repro.prefetch import (
     TopKPolicy,
 )
 from repro.sim.config import SimulationConfig
+from repro.sim.faults import FaultRuntime
 from repro.sim.kpis import RunKPIs
 from repro.sim.metrics import (
     ClientClassStats,
@@ -331,6 +332,10 @@ class Simulation:
                 # and the node itself raises on it (see ProxyNode).
                 node.shard_local = node.node_id in owned
         self._bind_router()
+        #: the fault runtime of a fault-injected run (None otherwise);
+        #: installed after the client build so its routing rebinds wrap
+        #: the fully-resolved closures.
+        self.fault_runtime = None
         self.clients: list[PrefetchController] = []
         self._caches = []
         #: homogeneous classes of an aggregated-backend run, aligned
@@ -350,6 +355,14 @@ class Simulation:
                 stacklevel=2,
             )
         self._build_clients()
+        # Fault injection: only a NON-empty schedule installs anything —
+        # no events, no rebound closures, no extra ring for empty/None
+        # schedules, keeping fault-free runs bit-identical to PR 9.
+        # Shard-group worker builds never see faults (plan_node_partition
+        # names fault-injection as a serial-fallback coupling).
+        if config.faults and self.only_nodes is None:
+            self.fault_runtime = FaultRuntime(self, config.faults)
+            self.fault_runtime.install()
 
     def _resolve_node_backend(self) -> str:
         """Effective backend: the config's, or the session default.
@@ -839,11 +852,17 @@ class Simulation:
         demand_bytes = sum(s.link_demand_bytes for s in shards)
         prefetch_bytes = sum(s.link_prefetch_bytes for s in shards)
         peer_bytes = sum(s.peer_bytes for s in shards)
+        fault_timeline = (
+            self.fault_runtime.finalize()
+            if self.fault_runtime is not None
+            else ()
+        )
         kpis = RunKPIs.from_shards(
             tuple(node.collector.kpi_shard(node.node_id) for node in self.nodes),
             demand_bytes=demand_bytes,
             prefetch_bytes=prefetch_bytes,
             peer_bytes=peer_bytes,
+            fault_timeline=fault_timeline,
         )
         return SimulationOutput(
             metrics=metrics,

@@ -113,7 +113,12 @@ __all__ = [
 #:     (serial and parallel runs of one scenario share a cache entry,
 #:     and a warm cache serves both); the version bump only covers the
 #:     dataclass gaining fields at all.
-CACHE_SCHEMA_VERSION = 8
+#: v9: fault injection (PR 10): SimulationConfig grew ``faults`` (a
+#:     FaultSchedule of typed events — covered by the hash via dataclass
+#:     decomposition, so a fault-injected scenario never aliases its
+#:     fault-free twin), and cached SimulationOutput KPIs grew a
+#:     ``fault_timeline`` older readers cannot interpret.
+CACHE_SCHEMA_VERSION = 9
 
 
 # ----------------------------------------------------------------------

@@ -20,6 +20,7 @@ EXPECTED_IDS = {
     "cooperative-caching",
     "analytic-screen",
     "scenario",
+    "failure-recovery",
 }
 
 

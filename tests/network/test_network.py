@@ -1,11 +1,14 @@
-"""Tests for the shared link and origin server."""
+"""Tests for the shared link, origin server and hash-ring elasticity."""
+
+import random
 
 import numpy as np
 import pytest
 
 from repro.des import Environment
-from repro.errors import ParameterError
+from repro.errors import ConfigurationError, ParameterError
 from repro.network import FetchKind, OriginServer, SharedLink
+from repro.network.topology import HashRing
 from repro.workload.sizes import ExponentialSize
 
 
@@ -77,6 +80,111 @@ class TestSharedLink:
         assert r.request.client == 7
         assert r.request.kind is FetchKind.PREFETCH
         assert r.completed_at == pytest.approx(1.0)
+
+
+class TestHashRingElasticity:
+    """Minimal-disruption property of add_node/remove_node.
+
+    The consistent-hash ring's whole point: a membership change may only
+    move keys whose owner is the node that left (or the one that joined)
+    — every other key's owner is untouched.  Fuzzed over 200+ randomized
+    ring states (proxy counts, vnode counts, member subsets).
+    """
+
+    KEYS = [f"item-{i}" for i in range(120)] + list(range(120, 180))
+
+    @staticmethod
+    def _owners(ring):
+        return {key: ring.node_of(key) for key in TestHashRingElasticity.KEYS}
+
+    def _random_ring(self, rng):
+        num_proxies = rng.randint(2, 10)
+        vnodes = rng.choice([1, 4, 16, 64])
+        members = sorted(
+            rng.sample(range(num_proxies), rng.randint(2, num_proxies))
+        )
+        return HashRing(num_proxies, vnodes=vnodes, members=members)
+
+    def test_remove_only_moves_departed_nodes_keys(self):
+        rng = random.Random(0xF0)
+        for _ in range(120):
+            ring = self._random_ring(rng)
+            before = self._owners(ring)
+            victim = rng.choice(ring.members())
+            ring.remove_node(victim)
+            after = self._owners(ring)
+            assert victim not in ring.members()
+            for key, owner in before.items():
+                if owner == victim:
+                    assert after[key] != victim
+                else:
+                    assert after[key] == owner, key
+
+    def test_add_only_moves_keys_to_the_joining_node(self):
+        rng = random.Random(0xF1)
+        for _ in range(120):
+            ring = self._random_ring(rng)
+            off_ring = sorted(
+                set(range(ring.num_proxies)) - set(ring.members())
+            )
+            if not off_ring:
+                continue
+            joiner = rng.choice(off_ring)
+            before = self._owners(ring)
+            ring.add_node(joiner)
+            after = self._owners(ring)
+            assert joiner in ring.members()
+            for key, owner in after.items():
+                if owner != before[key]:
+                    assert owner == joiner, key
+
+    def test_mutated_ring_matches_fresh_build(self):
+        """In-place mutation must land on the same tie-ordering as a
+        from-scratch ring over the same membership (bit-identical owners)."""
+        rng = random.Random(0xF2)
+        for _ in range(60):
+            ring = self._random_ring(rng)
+            victim = rng.choice(ring.members())
+            ring.remove_node(victim)
+            fresh = HashRing(
+                ring.num_proxies,
+                vnodes=ring.vnodes,
+                members=ring.members(),
+            )
+            assert self._owners(ring) == self._owners(fresh)
+            ring.add_node(victim)
+            restored = HashRing(
+                ring.num_proxies,
+                vnodes=ring.vnodes,
+                members=ring.members(),
+            )
+            assert self._owners(ring) == self._owners(restored)
+
+    def test_remove_then_add_round_trips(self):
+        rng = random.Random(0xF3)
+        for _ in range(40):
+            ring = self._random_ring(rng)
+            before = self._owners(ring)
+            victim = rng.choice(ring.members())
+            ring.remove_node(victim)
+            ring.add_node(victim)
+            assert self._owners(ring) == before
+
+    def test_mutation_validation(self):
+        ring = HashRing(3, members=[0, 1])
+        with pytest.raises(ConfigurationError):
+            ring.add_node(1)  # already a member
+        with pytest.raises(ConfigurationError):
+            ring.add_node(3)  # not provisioned
+        with pytest.raises(ConfigurationError):
+            ring.remove_node(2)  # not a member
+        ring.remove_node(1)
+        with pytest.raises(ConfigurationError):
+            ring.remove_node(0)  # would empty the ring
+        with pytest.raises(ConfigurationError):
+            HashRing(3, members=[])
+        with pytest.raises(ConfigurationError):
+            HashRing(3, members=[0, 3])
 
 
 class TestOriginServer:

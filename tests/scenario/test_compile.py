@@ -214,9 +214,12 @@ def test_catalog_scenarios_compile(path):
     points = expand_points(spec)
     assert points
     # every catalog file exercises a non-default shape: a phased workload
-    # (the PR 8 load-shape catalog) or a non-serial execution backend
-    # (the PR 9 saturated tier)
-    if spec.system.node_backend in (None, "serial"):
+    # (the PR 8 load-shape catalog), a non-serial execution backend
+    # (the PR 9 saturated tier) or a fault schedule (the PR 10 failure
+    # scenario)
+    if spec.faults is not None:
+        assert config.faults is not None and len(config.faults) > 0
+    elif spec.system.node_backend in (None, "serial"):
         assert spec.workload.phases
         assert config.workload.phases is not None
     else:

@@ -1,0 +1,83 @@
+"""Regression tests for the scenario-catalog lint (tools/validate_scenarios.py).
+
+Pins the property the CI gate relies on: an unknown top-level section is
+a *hard failure* (exit 1 with a path-qualified message), never silently
+skipped — a typo'd ``fautls:`` section that validated cleanly would ship
+a scenario whose fault schedule never runs.  Also lints the shipped
+catalog, so a scenario file that stops compiling fails tier 1 too.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import validate_scenarios  # noqa: E402
+
+MINIMAL = """\
+name: lint-check
+description: lint regression fixture
+workload:
+  num_clients: 2
+  request_rate: 4.0
+  catalog_size: 50
+system:
+  duration: 30.0
+  warmup: 5.0
+topology:
+  num_proxies: 2
+  routing: item-hash
+"""
+
+
+class TestCatalogLint:
+    def test_shipped_catalog_passes(self, capsys):
+        assert validate_scenarios.main([]) == 0
+        out = capsys.readouterr().out
+        # the fault scenario is part of the catalog and lints with its
+        # schedule summarised
+        assert "proxy_failure.yaml" in out
+        assert "fault event(s)" in out
+
+    def test_unknown_top_level_section_fails(self, tmp_path, capsys):
+        bad = tmp_path / "typo.yaml"
+        bad.write_text(MINIMAL + "fautls:\n  events: []\n", encoding="utf-8")
+        assert validate_scenarios.main([str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "unknown key" in err and "fautls" in err
+
+    def test_valid_faults_section_lints(self, tmp_path, capsys):
+        good = tmp_path / "faulted.yaml"
+        good.write_text(
+            MINIMAL
+            + (
+                "faults:\n"
+                "  events:\n"
+                "    - {at: 10.0, kind: proxy-fail, node: 1}\n"
+                "    - {at: 20.0, kind: proxy-recover, node: 1}\n"
+            ),
+            encoding="utf-8",
+        )
+        assert validate_scenarios.main([str(good)]) == 0
+        assert "2 fault event(s) (cold migration)" in capsys.readouterr().out
+
+    def test_bad_fault_schedule_fails_with_path(self, tmp_path, capsys):
+        bad = tmp_path / "late_fault.yaml"
+        bad.write_text(
+            MINIMAL
+            + (
+                "faults:\n"
+                "  events:\n"
+                "    - {at: 99.0, kind: proxy-fail, node: 1}\n"
+            ),
+            encoding="utf-8",
+        )
+        assert validate_scenarios.main([str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "faults.events[0]" in err
+
+    def test_missing_file_fails(self, capsys):
+        assert validate_scenarios.main(["scenarios/does-not-exist.yaml"]) == 1

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Coverage ratchet: per-package line-coverage floors, enforced in CI.
+
+Reads a ``coverage.json`` report (pytest-cov's ``--cov-report=json``)
+and compares each package's aggregate line coverage against the floors
+committed in ``tools/coverage_baseline.json``.  A package below its
+floor fails the build; a package comfortably above it prints a nudge to
+raise the floor.  The ratchet only ever tightens: raise a floor when
+coverage grows, never lower one to make a PR pass.
+
+pytest-cov is a CI-only dependency (the offline dev image ships without
+it), which is exactly why the floors live in a committed file instead of
+someone's shell history.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest tests/ --cov=repro --cov-report=json
+    python tools/coverage_ratchet.py [coverage.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "tools" / "coverage_baseline.json"
+#: a package this far above its floor earns a raise-the-floor nudge
+RAISE_NUDGE = 10.0
+
+
+def package_coverage(report: dict, prefix: str) -> tuple[int, int]:
+    """Return (covered, total) statement counts for one path prefix."""
+    covered = total = 0
+    for filename, data in report.get("files", {}).items():
+        # coverage.json keys are repo-relative, src-relative or absolute
+        # depending on invocation; match on the normalized tail
+        name = filename.replace("\\", "/")
+        if prefix in name or prefix.removeprefix("src/") in name:
+            summary = data["summary"]
+            covered += summary["covered_lines"]
+            total += summary["num_statements"]
+    return covered, total
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    report_path = Path(args[0]) if args else REPO_ROOT / "coverage.json"
+    if not report_path.exists():
+        print(f"coverage ratchet: no report at {report_path}", file=sys.stderr)
+        return 1
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    floors = {
+        prefix: floor
+        for prefix, floor in json.loads(
+            BASELINE.read_text(encoding="utf-8")
+        ).items()
+        if not prefix.startswith("_")
+    }
+    failures: list[str] = []
+    for prefix, floor in sorted(floors.items()):
+        covered, total = package_coverage(report, prefix)
+        if total == 0:
+            failures.append(f"{prefix}: no measured files in the report")
+            continue
+        pct = 100.0 * covered / total
+        status = "ok" if pct >= floor else "BELOW FLOOR"
+        print(
+            f"{status:>11}: {prefix:<24} {pct:6.2f}% "
+            f"({covered}/{total} statements, floor {floor:.1f}%)"
+        )
+        if pct < floor:
+            failures.append(
+                f"{prefix}: {pct:.2f}% < committed floor {floor:.1f}%"
+            )
+        elif pct >= floor + RAISE_NUDGE:
+            print(
+                f"             (consider raising the floor toward "
+                f"{pct:.0f}% in {BASELINE.name})"
+            )
+    if failures:
+        print("\nCOVERAGE RATCHET FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("coverage ratchet passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

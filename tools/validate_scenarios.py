@@ -68,9 +68,16 @@ def lint(path: Path) -> list[str]:
             if spec.system.node_backend
             else ""
         )
+        faults = ""
+        if spec.faults is not None:
+            migration = spec.faults.migration or "cold"
+            faults = (
+                f", {len(spec.faults.events)} fault event(s) "
+                f"({migration} migration)"
+            )
         print(
             f"ok: {rel} -> scenario {spec.name!r}, {len(points)} point(s), "
-            f"{phased} workload{backend}"
+            f"{phased} workload{backend}{faults}"
         )
     return problems
 
